@@ -1,0 +1,158 @@
+//! Covert-channel framework: messages, thresholds, reports.
+
+use impact_core::time::{Clock, Cycles};
+
+/// The decode threshold the paper's proof-of-concept uses (§6.1): a
+/// receiver-measured latency above 150 cycles is decoded as a row-buffer
+/// conflict (logic-1).
+pub const PAPER_THRESHOLD_CYCLES: u64 = 150;
+
+/// Parses a message from an ASCII bit string.
+///
+/// # Panics
+///
+/// Panics on characters other than `0`/`1`.
+///
+/// # Example
+///
+/// ```
+/// use impact_attacks::channel::message_from_str;
+///
+/// assert_eq!(message_from_str("101"), vec![true, false, true]);
+/// ```
+#[must_use]
+pub fn message_from_str(s: &str) -> Vec<bool> {
+    s.chars()
+        .map(|c| match c {
+            '0' => false,
+            '1' => true,
+            other => panic!("invalid message character {other:?}"),
+        })
+        .collect()
+}
+
+/// Per-bit trace entry captured by the receiver (used for Fig. 8).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BitObservation {
+    /// The bank the bit was transmitted through.
+    pub bank: usize,
+    /// Latency measured by the receiver (cycles, including timer cost).
+    pub measured: u64,
+    /// The bit the sender transmitted.
+    pub sent: bool,
+    /// The bit the receiver decoded.
+    pub decoded: bool,
+}
+
+/// Result of one covert-channel transmission.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChannelReport {
+    /// Bits transmitted.
+    pub bits_sent: u64,
+    /// Bits decoded incorrectly.
+    pub bit_errors: u64,
+    /// End-to-end elapsed time (max of sender/receiver clocks).
+    pub elapsed: Cycles,
+    /// Cycles the sender spent in its routine.
+    pub sender_cycles: Cycles,
+    /// Cycles the receiver spent in its routine.
+    pub receiver_cycles: Cycles,
+    /// Decode threshold used.
+    pub threshold: u64,
+    /// Per-bit observations (empty when tracing was disabled).
+    pub observations: Vec<BitObservation>,
+}
+
+impl ChannelReport {
+    /// Fraction of bits decoded incorrectly.
+    #[must_use]
+    pub fn error_rate(&self) -> f64 {
+        if self.bits_sent == 0 {
+            0.0
+        } else {
+            self.bit_errors as f64 / self.bits_sent as f64
+        }
+    }
+
+    /// Throughput counted over successfully leaked bits only, as the paper
+    /// measures (§5.2.3).
+    #[must_use]
+    pub fn goodput_mbps(&self, clock: Clock) -> f64 {
+        clock.throughput_mbps(self.bits_sent - self.bit_errors, self.elapsed)
+    }
+
+    /// Raw channel throughput ignoring errors.
+    #[must_use]
+    pub fn raw_throughput_mbps(&self, clock: Clock) -> f64 {
+        clock.throughput_mbps(self.bits_sent, self.elapsed)
+    }
+}
+
+/// Derives a decode threshold from calibration samples: the midpoint of
+/// the mean hit latency and mean conflict latency.
+///
+/// Returns [`PAPER_THRESHOLD_CYCLES`] when either sample set is empty.
+#[must_use]
+pub fn calibrate_threshold(hit_samples: &[u64], conflict_samples: &[u64]) -> u64 {
+    if hit_samples.is_empty() || conflict_samples.is_empty() {
+        return PAPER_THRESHOLD_CYCLES;
+    }
+    let mean = |v: &[u64]| v.iter().sum::<u64>() as f64 / v.len() as f64;
+    ((mean(hit_samples) + mean(conflict_samples)) / 2.0).round() as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn message_parsing() {
+        assert_eq!(message_from_str(""), Vec::<bool>::new());
+        assert_eq!(message_from_str("1100"), vec![true, true, false, false]);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid message character")]
+    fn message_rejects_garbage() {
+        let _ = message_from_str("10x");
+    }
+
+    #[test]
+    fn report_rates() {
+        let r = ChannelReport {
+            bits_sent: 100,
+            bit_errors: 5,
+            elapsed: Cycles(26_000),
+            sender_cycles: Cycles(10_000),
+            receiver_cycles: Cycles(16_000),
+            threshold: 150,
+            observations: Vec::new(),
+        };
+        assert!((r.error_rate() - 0.05).abs() < 1e-12);
+        // 95 bits in 10 us at 2.6 GHz = 9.5 Mb/s.
+        let clock = Clock::paper_default();
+        assert!((r.goodput_mbps(clock) - 9.5).abs() < 0.01);
+        assert!(r.raw_throughput_mbps(clock) > r.goodput_mbps(clock));
+    }
+
+    #[test]
+    fn threshold_midpoint() {
+        assert_eq!(calibrate_threshold(&[100, 110], &[190, 200]), 150);
+        assert_eq!(calibrate_threshold(&[], &[200]), PAPER_THRESHOLD_CYCLES);
+    }
+
+    #[test]
+    fn zero_bits_report() {
+        let r = ChannelReport {
+            bits_sent: 0,
+            bit_errors: 0,
+            elapsed: Cycles::ZERO,
+            sender_cycles: Cycles::ZERO,
+            receiver_cycles: Cycles::ZERO,
+            threshold: 150,
+            observations: Vec::new(),
+        };
+        assert_eq!(r.error_rate(), 0.0);
+        assert_eq!(r.goodput_mbps(Clock::paper_default()), 0.0);
+    }
+}

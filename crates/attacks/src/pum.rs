@@ -1,0 +1,303 @@
+//! IMPACT-PuM: the RowClone covert channel (§4.2, Listing 2, Fig. 5).
+//!
+//! The sender transmits an M-bit batch with a *single* masked RowClone
+//! request: the memory controller fans it out to one in-DRAM copy per set
+//! mask bit, all banks in parallel — this is the throughput advantage over
+//! IMPACT-PnM, whose sender pays one PEI per bit.
+//!
+//! The receiver initializes by cloning its own `src → dst` ranges in every
+//! bank (leaving its destination rows open), then decodes each batch by
+//! issuing one single-bank RowClone per bank and timing it: if the sender
+//! cloned in that bank, the receiver's row was displaced and the copy pays
+//! a precharge (slow ⇒ 1); otherwise the receiver's row is still open and
+//! the copy is fast (⇒ 0). Each receiver probe swaps the copy direction so
+//! its own source row is always the one left open by its previous probe.
+
+use impact_core::error::Result;
+use impact_core::time::Cycles;
+use impact_sim::{AgentId, CoSemaphore, System};
+
+use crate::channel::{BitObservation, ChannelReport, PAPER_THRESHOLD_CYCLES};
+use impact_core::addr::VirtAddr;
+use impact_pim::mask_from_bits;
+
+/// The IMPACT-PuM covert channel.
+#[derive(Debug)]
+pub struct PumCovertChannel {
+    sender: AgentId,
+    receiver: AgentId,
+    banks: usize,
+    sender_src: VirtAddr,
+    sender_dst: VirtAddr,
+    receiver_src: VirtAddr,
+    receiver_dst: VirtAddr,
+    /// Copy direction toggle per batch (receiver side).
+    forward: bool,
+    threshold: u64,
+    trace: bool,
+}
+
+impl PumCovertChannel {
+    /// Sets up the channel over the first `banks` banks (at most 64, the
+    /// mask width): allocates bank-striped source/destination ranges for
+    /// both parties and performs the receiver's initialization RowClone.
+    ///
+    /// # Errors
+    ///
+    /// Propagates allocation/validation errors, and
+    /// [`impact_core::Error::InvalidConfig`] if `banks` exceeds 64 or the
+    /// device bank count.
+    pub fn setup(sys: &mut System, banks: usize) -> Result<PumCovertChannel> {
+        let device_banks = sys.config().dram_geometry.total_banks() as usize;
+        if banks == 0 || banks > 64 || banks > device_banks {
+            return Err(impact_core::Error::InvalidConfig(format!(
+                "PuM channel needs 1..=64 banks within the device ({device_banks}), got {banks}"
+            )));
+        }
+        let sender = sys.spawn_agent();
+        let receiver = sys.spawn_agent();
+        let rotation_pages = u64::from(sys.config().dram_geometry.total_banks())
+            * sys.config().dram_geometry.row_bytes
+            / 4096;
+        let sender_src = sys.alloc_bank_stripe(sender, 1)?;
+        let sender_dst = sys.alloc_bank_stripe(sender, 1)?;
+        let receiver_src = sys.alloc_bank_stripe(receiver, 1)?;
+        let receiver_dst = sys.alloc_bank_stripe(receiver, 1)?;
+        for (agent, va) in [
+            (sender, sender_src),
+            (sender, sender_dst),
+            (receiver, receiver_src),
+            (receiver, receiver_dst),
+        ] {
+            sys.warm_tlb(agent, va, rotation_pages);
+        }
+        let mut ch = PumCovertChannel {
+            sender,
+            receiver,
+            banks,
+            sender_src,
+            sender_dst,
+            receiver_src,
+            receiver_dst,
+            forward: true,
+            threshold: PAPER_THRESHOLD_CYCLES,
+            trace: false,
+        };
+        // Step 1: init_DRAM_rows_with_RowClone().
+        let full_mask = mask_from_bits(&vec![true; banks]);
+        sys.rowclone(ch.receiver, ch.receiver_src, ch.receiver_dst, full_mask)?;
+        ch.forward = false; // receiver's dst rows are now open
+        Ok(ch)
+    }
+
+    /// Enables per-bit observation tracing (Fig. 8).
+    pub fn set_trace(&mut self, trace: bool) {
+        self.trace = trace;
+    }
+
+    /// Overrides the decode threshold.
+    pub fn set_threshold(&mut self, threshold: u64) {
+        self.threshold = threshold;
+    }
+
+    /// The sender agent.
+    #[must_use]
+    pub fn sender(&self) -> AgentId {
+        self.sender
+    }
+
+    /// The receiver agent.
+    #[must_use]
+    pub fn receiver(&self) -> AgentId {
+        self.receiver
+    }
+
+    /// Transmits `message`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulator errors.
+    pub fn transmit(&mut self, sys: &mut System, message: &[bool]) -> Result<ChannelReport> {
+        let sync = sys.params().sync_overhead;
+        let mut data_sem = CoSemaphore::new(sync);
+        let mut ready_sem = CoSemaphore::new(sync);
+        ready_sem.post(sys, self.receiver);
+
+        let start_s = sys.now(self.sender);
+        let start_r = sys.now(self.receiver);
+        let start = start_s.max(start_r);
+        let mut errors = 0u64;
+        let mut observations = Vec::new();
+        let mut sender_busy = Cycles::ZERO;
+        let mut receiver_busy = Cycles::ZERO;
+
+        for batch in message.chunks(self.banks) {
+            // --- Sender: one masked RowClone for the whole batch ---
+            ready_sem.wait(sys, self.sender);
+            let s_begin = sys.now(self.sender);
+            let mask = mask_from_bits(batch);
+            if mask != 0 {
+                sys.rowclone(self.sender, self.sender_src, self.sender_dst, mask)?;
+            } else {
+                sys.advance(self.sender, Cycles(2));
+            }
+            sys.fence(self.sender);
+            data_sem.post(sys, self.sender);
+            sender_busy += sys.now(self.sender) - s_begin;
+
+            // --- Receiver: one timed single-bank RowClone per bank ---
+            data_sem.wait(sys, self.receiver);
+            let r_begin = sys.now(self.receiver);
+            let (from, to) = if self.forward {
+                (self.receiver_src, self.receiver_dst)
+            } else {
+                (self.receiver_dst, self.receiver_src)
+            };
+            for (bank, &bit) in batch.iter().enumerate() {
+                let mask = 1u64 << bank;
+                let t0 = sys.rdtscp(self.receiver);
+                sys.rowclone(self.receiver, from, to, mask)?;
+                let t1 = sys.rdtscp(self.receiver);
+                let measured = t1 - t0;
+                let decoded = measured > self.threshold;
+                if decoded != bit {
+                    errors += 1;
+                }
+                if self.trace {
+                    observations.push(BitObservation {
+                        bank,
+                        measured,
+                        sent: bit,
+                        decoded,
+                    });
+                }
+            }
+            self.forward = !self.forward;
+            sys.fence(self.receiver);
+            ready_sem.post(sys, self.receiver);
+            receiver_busy += sys.now(self.receiver) - r_begin;
+        }
+
+        let end = sys.now(self.sender).max(sys.now(self.receiver));
+        Ok(ChannelReport {
+            bits_sent: message.len() as u64,
+            bit_errors: errors,
+            elapsed: end - start,
+            sender_cycles: sender_busy,
+            receiver_cycles: receiver_busy,
+            threshold: self.threshold,
+            observations,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::channel::message_from_str;
+    use impact_core::config::SystemConfig;
+    use impact_core::rng::SimRng;
+
+    fn sys() -> System {
+        System::new(SystemConfig::paper_table2_noiseless())
+    }
+
+    #[test]
+    fn poc_16_bit_message_exact() {
+        // Fig. 8b message.
+        let mut s = sys();
+        let mut ch = PumCovertChannel::setup(&mut s, 16).unwrap();
+        ch.set_trace(true);
+        let msg = message_from_str("0001101100011011");
+        let r = ch.transmit(&mut s, &msg).unwrap();
+        assert_eq!(r.bit_errors, 0);
+        for o in &r.observations {
+            if o.sent {
+                assert!(o.measured > 150, "conflict measured {}", o.measured);
+            } else {
+                assert!(o.measured < 150, "hit measured {}", o.measured);
+            }
+        }
+    }
+
+    #[test]
+    fn long_random_message_noiseless_is_exact() {
+        let mut s = sys();
+        let mut ch = PumCovertChannel::setup(&mut s, 16).unwrap();
+        let msg = SimRng::seed(3).bits(2048);
+        let r = ch.transmit(&mut s, &msg).unwrap();
+        assert_eq!(r.bit_errors, 0);
+    }
+
+    #[test]
+    fn throughput_in_paper_band() {
+        // The paper reports 14.8 Mb/s for IMPACT-PuM (§6.2).
+        let mut s = sys();
+        let mut ch = PumCovertChannel::setup(&mut s, 16).unwrap();
+        let msg = SimRng::seed(5).bits(4096);
+        let r = ch.transmit(&mut s, &msg).unwrap();
+        let mbps = r.goodput_mbps(s.config().clock);
+        assert!(
+            (12.0..=18.0).contains(&mbps),
+            "PuM throughput = {mbps:.2} Mb/s"
+        );
+    }
+
+    #[test]
+    fn pum_faster_than_pnm() {
+        // §6.2: PuM provides substantially higher throughput than PnM.
+        let msg = SimRng::seed(7).bits(4096);
+        let mut s1 = sys();
+        let mut pnm = crate::pnm::PnmCovertChannel::setup(&mut s1, 16).unwrap();
+        let pnm_r = pnm.transmit(&mut s1, &msg).unwrap();
+        let mut s2 = sys();
+        let mut pum = PumCovertChannel::setup(&mut s2, 16).unwrap();
+        let pum_r = pum.transmit(&mut s2, &msg).unwrap();
+        let clock = s1.config().clock;
+        let ratio = pum_r.goodput_mbps(clock) / pnm_r.goodput_mbps(clock);
+        assert!(ratio > 1.3, "PuM/PnM throughput ratio = {ratio:.2}");
+    }
+
+    #[test]
+    fn sender_order_of_magnitude_cheaper_than_pnm_sender() {
+        // Fig. 10: the PuM sender transmits a batch with one request.
+        let msg = SimRng::seed(9).bits(1024);
+        let mut s1 = sys();
+        let mut pnm = crate::pnm::PnmCovertChannel::setup(&mut s1, 16).unwrap();
+        let pnm_r = pnm.transmit(&mut s1, &msg).unwrap();
+        let mut s2 = sys();
+        let mut pum = PumCovertChannel::setup(&mut s2, 16).unwrap();
+        let pum_r = pum.transmit(&mut s2, &msg).unwrap();
+        let ratio = pnm_r.sender_cycles.as_f64() / pum_r.sender_cycles.as_f64();
+        assert!(ratio > 4.0, "sender cycle ratio = {ratio:.2}");
+    }
+
+    #[test]
+    fn setup_rejects_bad_bank_counts() {
+        let mut s = sys();
+        assert!(PumCovertChannel::setup(&mut s, 0).is_err());
+        assert!(PumCovertChannel::setup(&mut s, 65).is_err());
+        assert!(PumCovertChannel::setup(&mut s, 32).is_err()); // device has 16
+    }
+
+    #[test]
+    fn noise_tolerated() {
+        let mut s = System::new(SystemConfig::paper_table2());
+        let mut ch = PumCovertChannel::setup(&mut s, 16).unwrap();
+        let msg = SimRng::seed(11).bits(2048);
+        let r = ch.transmit(&mut s, &msg).unwrap();
+        assert!(r.error_rate() < 0.10, "error rate {}", r.error_rate());
+    }
+
+    #[test]
+    fn crp_defense_kills_channel() {
+        use impact_memctrl::Defense;
+        let mut s = sys();
+        s.set_defense(Defense::Crp);
+        let mut ch = PumCovertChannel::setup(&mut s, 16).unwrap();
+        let msg = SimRng::seed(13).bits(512);
+        let r = ch.transmit(&mut s, &msg).unwrap();
+        // Closed-row policy: every clone is a miss; no hit/conflict signal.
+        assert!(r.error_rate() > 0.35, "error rate {}", r.error_rate());
+    }
+}

@@ -1,0 +1,234 @@
+//! DRAMA-style reverse engineering of the DRAM bank mapping (§2.3 of the
+//! paper: "several prior works leak DRAM address mapping functions").
+//!
+//! The covert channels assume sender and receiver can *co-locate* rows in
+//! chosen banks; on a real system the attacker first has to learn which
+//! addresses share a bank. The classic primitive: alternate accesses to two
+//! row-aligned addresses. If they live in the same bank but different rows,
+//! every access is a row conflict (slow); if they live in different banks,
+//! each address keeps its own row open and the accesses hit (fast).
+//!
+//! [`BankRecon`] clusters a set of addresses into congruence classes using
+//! only timing, recovering the bank count without knowing the mapping —
+//! it works unchanged against both [`impact_dram::RowInterleaved`] and the
+//! XOR-hashed [`impact_dram::BankInterleavedXor`].
+
+use impact_core::addr::PhysAddr;
+use impact_core::error::Result;
+use impact_core::time::Cycles;
+use impact_memctrl::MemoryController;
+
+/// Timing-based bank-congruence reconnaissance.
+#[derive(Debug, Clone)]
+pub struct BankRecon {
+    /// Latency threshold separating hit from conflict (including the
+    /// controller front end).
+    threshold: Cycles,
+    /// Alternations per pair measurement.
+    rounds: u32,
+    /// The attacker's local clock cursor.
+    now: Cycles,
+}
+
+impl BankRecon {
+    /// Creates the recon harness for a controller, deriving the threshold
+    /// from the device timing (midpoint of hit and conflict latency).
+    #[must_use]
+    pub fn new(mc: &MemoryController) -> BankRecon {
+        let t = mc.dram().timing();
+        let hit = t.hit_latency() + mc.overhead();
+        let conflict = t.conflict_latency() + mc.overhead();
+        BankRecon {
+            threshold: Cycles((hit.0 + conflict.0) / 2),
+            rounds: 4,
+            now: Cycles(0),
+        }
+    }
+
+    /// The decode threshold in use.
+    #[must_use]
+    pub fn threshold(&self) -> Cycles {
+        self.threshold
+    }
+
+    /// Measures whether `a` and `b` map to the same bank (true on
+    /// conflict-dominated alternation).
+    ///
+    /// # Errors
+    ///
+    /// Propagates controller errors.
+    pub fn same_bank(
+        &mut self,
+        mc: &mut MemoryController,
+        a: PhysAddr,
+        b: PhysAddr,
+    ) -> Result<bool> {
+        // Settle: open both target rows once (uninformative accesses).
+        for addr in [a, b] {
+            let out = mc.access(addr, self.now, 0)?;
+            self.now = out.completed_at;
+        }
+        let mut slow = 0u32;
+        let mut total = 0u32;
+        for _ in 0..self.rounds {
+            for addr in [a, b] {
+                let out = mc.access(addr, self.now, 0)?;
+                self.now = out.completed_at;
+                total += 1;
+                if out.latency > self.threshold {
+                    slow += 1;
+                }
+            }
+        }
+        Ok(slow * 2 > total)
+    }
+
+    /// Clusters `addrs` into bank-congruence classes by timing alone:
+    /// each address is compared against one representative per known
+    /// class (the DRAMA set-construction strategy).
+    ///
+    /// Returns the classes in discovery order.
+    ///
+    /// # Errors
+    ///
+    /// Propagates controller errors.
+    pub fn cluster(
+        &mut self,
+        mc: &mut MemoryController,
+        addrs: &[PhysAddr],
+    ) -> Result<Vec<Vec<PhysAddr>>> {
+        let mut classes: Vec<Vec<PhysAddr>> = Vec::new();
+        'next: for &addr in addrs {
+            for class in &mut classes {
+                let representative = class[0];
+                if self.same_bank(mc, representative, addr)? {
+                    class.push(addr);
+                    continue 'next;
+                }
+            }
+            classes.push(vec![addr]);
+        }
+        Ok(classes)
+    }
+
+    /// Convenience: the inferred number of banks touched by `addrs`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates controller errors.
+    pub fn infer_bank_count(
+        &mut self,
+        mc: &mut MemoryController,
+        addrs: &[PhysAddr],
+    ) -> Result<usize> {
+        Ok(self.cluster(mc, addrs)?.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use impact_core::config::SystemConfig;
+    use impact_core::rng::SimRng;
+    use impact_core::time::Clock;
+    use impact_dram::{
+        AddressMapping, BankInterleavedXor, DramDevice, ResolvedTiming, RowInterleaved,
+    };
+
+    fn controller_with_xor() -> MemoryController {
+        let cfg = SystemConfig::paper_table2();
+        let dram = DramDevice::new(
+            cfg.dram_geometry,
+            ResolvedTiming::resolve(&cfg.dram_timing, cfg.clock),
+            impact_dram::RowPolicy::open_page(),
+        );
+        MemoryController::new(
+            dram,
+            Box::new(BankInterleavedXor::new(cfg.dram_geometry)),
+            Cycles(cfg.memctrl_overhead_cycles),
+            Clock::paper_default(),
+        )
+    }
+
+    /// Row-aligned probe addresses at distinct rows: `per_bank` probes in
+    /// every bank, shuffled so the attacker sees them in arbitrary order
+    /// (the attacker does not know which is which — the shuffle only
+    /// removes accidental ordering structure from the test).
+    fn probe_addrs(mc: &MemoryController, per_bank: usize, seed: u64) -> Vec<PhysAddr> {
+        let mut rng = SimRng::seed(seed);
+        let banks = mc.dram().num_banks();
+        let mut addrs: Vec<PhysAddr> = (0..banks * per_bank)
+            .map(|i| {
+                // Distinct row per probe so same-bank pairs always conflict.
+                mc.mapping().compose(i % banks, 100 + i as u64, 0)
+            })
+            .collect();
+        rng.shuffle(&mut addrs);
+        addrs
+    }
+
+    #[test]
+    fn same_bank_pairs_detected() {
+        let mut mc = MemoryController::from_config(&SystemConfig::paper_table2());
+        let a = mc.mapping().compose(3, 10, 0);
+        let b = mc.mapping().compose(3, 11, 0);
+        let c = mc.mapping().compose(7, 10, 0);
+        let mut recon = BankRecon::new(&mc);
+        assert!(recon.same_bank(&mut mc, a, b).unwrap());
+        assert!(!recon.same_bank(&mut mc, a, c).unwrap());
+    }
+
+    #[test]
+    fn clusters_match_ground_truth_row_interleaved() {
+        let mut mc = MemoryController::from_config(&SystemConfig::paper_table2());
+        let addrs = probe_addrs(&mc, 3, 1);
+        let mapping = RowInterleaved::new(SystemConfig::paper_table2().dram_geometry);
+        let mut recon = BankRecon::new(&mc);
+        let classes = recon.cluster(&mut mc, &addrs).unwrap();
+        for class in &classes {
+            let bank = mapping.flat_bank(class[0]);
+            for &a in class {
+                assert_eq!(mapping.flat_bank(a), bank, "mixed class");
+            }
+        }
+        // Three probes per bank: every bank appears as its own class.
+        assert_eq!(classes.len(), 16);
+    }
+
+    #[test]
+    fn clusters_match_ground_truth_xor_mapping() {
+        // The attacker does not need to know the mapping function: the
+        // timing clusters are correct even under XOR bank hashing.
+        let mut mc = controller_with_xor();
+        let addrs = probe_addrs(&mc, 3, 2);
+        let geometry = SystemConfig::paper_table2().dram_geometry;
+        let mapping = BankInterleavedXor::new(geometry);
+        let mut recon = BankRecon::new(&mc);
+        let classes = recon.cluster(&mut mc, &addrs).unwrap();
+        for class in &classes {
+            let bank = mapping.flat_bank(class[0]);
+            for &a in class {
+                assert_eq!(mapping.flat_bank(a), bank, "mixed class under XOR");
+            }
+        }
+        assert_eq!(classes.len(), 16);
+    }
+
+    #[test]
+    fn bank_count_inferred() {
+        let mut mc = MemoryController::from_config(&SystemConfig::paper_table2());
+        let addrs = probe_addrs(&mc, 4, 3);
+        let mut recon = BankRecon::new(&mc);
+        assert_eq!(recon.infer_bank_count(&mut mc, &addrs).unwrap(), 16);
+    }
+
+    #[test]
+    fn single_address_single_class() {
+        let mut mc = MemoryController::from_config(&SystemConfig::paper_table2());
+        let addrs = vec![mc.mapping().compose(0, 5, 0)];
+        let mut recon = BankRecon::new(&mc);
+        let classes = recon.cluster(&mut mc, &addrs).unwrap();
+        assert_eq!(classes.len(), 1);
+        assert_eq!(classes[0], addrs);
+    }
+}

@@ -1,0 +1,32 @@
+//! Criterion harness regenerating every paper table/figure: one benchmark
+//! per experiment, measuring the end-to-end reproduction time. (The shape
+//! assertions live in the unit/integration tests; here the experiments are
+//! exercised as whole pipelines.)
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+
+use impact_bench::experiments;
+
+fn bench_figures(c: &mut Criterion) {
+    let mut g = c.benchmark_group("figures");
+    g.sample_size(10).measurement_time(Duration::from_secs(8));
+
+    g.bench_function("delta_sec3_1", |b| b.iter(experiments::delta));
+    g.bench_function("table1", |b| b.iter(experiments::table1));
+    g.bench_function("table2", |b| b.iter(experiments::table2));
+    g.bench_function("fig2_llc_size_sweep", |b| b.iter(experiments::fig2));
+    g.bench_function("fig3_llc_ways_sweep", |b| b.iter(experiments::fig3));
+    g.bench_function("fig8_poc", |b| b.iter(experiments::fig8));
+    g.bench_function("fig9_throughput_comparison", |b| {
+        b.iter(|| experiments::fig9(256))
+    });
+    g.bench_function("fig10_breakdown", |b| b.iter(experiments::fig10));
+    g.bench_function("fig11_side_channel", |b| b.iter(|| experiments::fig11(20)));
+    g.bench_function("fig12_defenses", |b| b.iter(|| experiments::fig12(true)));
+    g.bench_function("ablations", |b| b.iter(|| experiments::ablations(true)));
+    g.finish();
+}
+
+criterion_group!(benches, bench_figures);
+criterion_main!(benches);

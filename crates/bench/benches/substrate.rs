@@ -1,0 +1,113 @@
+//! Criterion micro-benchmarks of the simulation substrate: how fast the
+//! simulator itself executes the primitives every experiment is built on.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+
+use impact_cache::{CacheHierarchy, EvictionSet};
+use impact_core::addr::PhysAddr;
+use impact_core::config::SystemConfig;
+use impact_core::time::Cycles;
+use impact_dram::DramDevice;
+use impact_genomics::genome::Genome;
+use impact_genomics::index::{minimizers, KmerIndex};
+use impact_memctrl::MemoryController;
+use impact_sim::System;
+use impact_workloads::graph::Graph;
+use impact_workloads::kernels;
+
+fn bench_dram(c: &mut Criterion) {
+    c.bench_function("dram/access_alternating_rows", |b| {
+        let cfg = SystemConfig::paper_table2();
+        let mut dram = DramDevice::from_config(&cfg);
+        let mut now = Cycles(0);
+        let mut row = 0u64;
+        b.iter(|| {
+            let out = dram.access(0, row % 64, now);
+            now = out.completed_at;
+            row += 1;
+            out.latency
+        });
+    });
+    c.bench_function("dram/masked_rowclone_16_banks", |b| {
+        let cfg = SystemConfig::paper_table2();
+        let mut mc = MemoryController::from_config(&cfg);
+        let row_bytes = cfg.dram_geometry.row_bytes;
+        let mut now = Cycles(0);
+        b.iter(|| {
+            let out = mc
+                .rowclone(PhysAddr(0), PhysAddr(16 * row_bytes), 0xFFFF, now, 0)
+                .expect("rowclone");
+            now = out.completed_at;
+            out.latency
+        });
+    });
+}
+
+fn bench_cache(c: &mut Criterion) {
+    c.bench_function("cache/hierarchy_load_hit", |b| {
+        let mut h = CacheHierarchy::from_config(&SystemConfig::paper_table2());
+        h.load(PhysAddr(0x4000));
+        b.iter(|| h.load(PhysAddr(0x4000)).latency);
+    });
+    c.bench_function("cache/eviction_set_run", |b| {
+        let cfg = SystemConfig::paper_table2();
+        b.iter_batched(
+            || {
+                let mut h = CacheHierarchy::from_config(&cfg);
+                let target = PhysAddr(0x40000);
+                h.load(target);
+                let set = EvictionSet::build(&h, target);
+                (h, set)
+            },
+            |(mut h, set)| set.run_once(&mut h),
+            BatchSize::SmallInput,
+        );
+    });
+}
+
+fn bench_system(c: &mut Criterion) {
+    c.bench_function("system/pim_op_direct", |b| {
+        let mut sys = System::new(SystemConfig::paper_table2_noiseless());
+        let a = sys.spawn_agent();
+        let row = sys.alloc_row_in_bank(a, 0).expect("alloc");
+        sys.warm_tlb(a, row, 2);
+        b.iter(|| sys.pim_op_direct(a, row).expect("pim").latency);
+    });
+    c.bench_function("system/load_through_caches", |b| {
+        let mut sys = System::new(SystemConfig::paper_table2_noiseless());
+        let a = sys.spawn_agent();
+        let row = sys.alloc_row_in_bank(a, 1).expect("alloc");
+        sys.warm_tlb(a, row, 2);
+        b.iter(|| sys.load(a, row).expect("load").latency);
+    });
+}
+
+fn bench_genomics(c: &mut Criterion) {
+    let genome = Genome::synthesize(20_000, 7);
+    c.bench_function("genomics/minimizers_20kb", |b| {
+        b.iter(|| minimizers(genome.bases(), 15, 5).len());
+    });
+    c.bench_function("genomics/index_build_20kb", |b| {
+        b.iter(|| KmerIndex::build(&genome, 15, 5, 16384).occupied_buckets());
+    });
+}
+
+fn bench_workloads(c: &mut Criterion) {
+    let g = Graph::rmat(256, 1024, 3);
+    c.bench_function("workloads/bfs_kernel_rmat256", |b| {
+        b.iter(|| kernels::bfs(&g, 0).1.len());
+    });
+    c.bench_function("workloads/tc_kernel_rmat256", |b| {
+        b.iter(|| kernels::tc(&g).0);
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_dram,
+    bench_cache,
+    bench_system,
+    bench_genomics,
+    bench_workloads
+);
+criterion_main!(benches);

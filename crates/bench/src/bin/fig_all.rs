@@ -1,0 +1,82 @@
+//! Regenerates the paper's tables and figures on the command line.
+//!
+//! ```text
+//! fig_all                 # run everything (full sizes)
+//! fig_all --quick         # run everything (reduced sizes)
+//! fig_all fig9 fig11      # run selected experiments
+//! fig_all --csv fig2      # CSV output instead of text
+//! ```
+
+use std::env;
+
+use impact_bench::experiments;
+use impact_bench::Figure;
+
+fn run_one(id: &str, quick: bool) -> Option<Figure> {
+    let fig = match id {
+        "delta" => experiments::delta(),
+        "table1" => experiments::table1(),
+        "table2" => experiments::table2(),
+        "fig2" => experiments::fig2(),
+        "fig3" => experiments::fig3(),
+        "fig8" => experiments::fig8(),
+        "fig9" => experiments::fig9(if quick { 512 } else { 2048 }),
+        "fig10" => experiments::fig10(),
+        "fig11" => experiments::fig11(if quick { 40 } else { 120 }),
+        "fig12" => experiments::fig12(quick),
+        "ablations" => experiments::ablations(quick),
+        "future_banks" => experiments::future_banks(if quick { 512 } else { 2048 }),
+        "rfm" => experiments::rfm_filtering(if quick { 512 } else { 2048 }),
+        _ => return None,
+    };
+    Some(fig)
+}
+
+const ALL: [&str; 12] = [
+    "delta",
+    "table1",
+    "table2",
+    "fig2",
+    "fig3",
+    "fig8",
+    "fig9",
+    "fig10",
+    "fig11",
+    "fig12",
+    "ablations",
+    "future_banks",
+];
+
+fn main() {
+    let args: Vec<String> = env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let csv = args.iter().any(|a| a == "--csv");
+    let selected: Vec<&str> = args
+        .iter()
+        .filter(|a| !a.starts_with("--"))
+        .map(String::as_str)
+        .collect();
+    let ids: Vec<&str> = if selected.is_empty() {
+        ALL.to_vec()
+    } else {
+        selected
+    };
+
+    for id in ids {
+        match run_one(id, quick) {
+            Some(fig) => {
+                if csv {
+                    println!("# {}", fig.id);
+                    print!("{}", fig.render_csv());
+                } else {
+                    print!("{}", fig.render_text());
+                }
+                println!();
+            }
+            None => {
+                eprintln!("unknown experiment {id:?}; available: {}", ALL.join(", "));
+                std::process::exit(2);
+            }
+        }
+    }
+}

@@ -1,0 +1,41 @@
+//! The experiments, one per paper table/figure plus ablations.
+
+mod ablation;
+mod covert;
+mod defense;
+mod future;
+mod side;
+mod sweeps;
+mod tables;
+
+pub use ablation::ablations;
+pub use covert::{fig10, fig8, fig9};
+pub use defense::fig12;
+pub use future::{future_banks, rfm_filtering};
+pub use side::fig11;
+pub use sweeps::{delta, fig2, fig3};
+pub use tables::{table1, table2};
+
+use crate::Figure;
+
+/// Runs every experiment (in paper order) with default parameters.
+///
+/// `quick` shrinks message/workload sizes for CI-speed runs.
+#[must_use]
+pub fn run_all(quick: bool) -> Vec<Figure> {
+    vec![
+        delta(),
+        table1(),
+        table2(),
+        fig2(),
+        fig3(),
+        fig8(),
+        fig9(if quick { 512 } else { 2048 }),
+        fig10(),
+        fig11(if quick { 40 } else { 120 }),
+        fig12(quick),
+        ablations(quick),
+        future_banks(if quick { 512 } else { 2048 }),
+        rfm_filtering(if quick { 512 } else { 2048 }),
+    ]
+}

@@ -1,0 +1,113 @@
+//! Tables 1 and 2 as experiments.
+
+use impact_attacks::primitives;
+use impact_core::config::SystemConfig;
+
+use crate::{Figure, Series};
+
+/// Table 1: the attack-primitive property matrix, encoded as 0/1/NaN
+/// series (yes = 1, no = 0, n/a = NaN) plus the rendered text in notes.
+#[must_use]
+pub fn table1() -> Figure {
+    use impact_attacks::primitives::Property;
+    let to_y = |p: Property| match p {
+        Property::Yes => 1.0,
+        Property::No => 0.0,
+        Property::NotApplicable => f64::NAN,
+    };
+    let rows = primitives::table1();
+    let mut fig = Figure::new(
+        "table1",
+        "Efficiency and effectiveness of attack primitives",
+        "property (0=NoCacheLookup 1=NoExcessMem 2=TimingDetect 3=ISA)",
+        "yes=1 / no=0 / n-a=NaN",
+    );
+    for row in rows {
+        fig = fig.with_series(Series::new(
+            row.name,
+            vec![
+                (0.0, to_y(row.no_cache_lookup)),
+                (1.0, to_y(row.no_excessive_memory_accesses)),
+                (2.0, to_y(row.timing_difference_detectability)),
+                (3.0, to_y(row.isa_guarantees)),
+            ],
+        ));
+    }
+    for line in primitives::render_table1().lines() {
+        fig = fig.with_note(line.to_string());
+    }
+    fig
+}
+
+/// Table 2: the simulated system configuration, rendered into notes.
+#[must_use]
+pub fn table2() -> Figure {
+    let cfg = SystemConfig::paper_table2();
+    let mut fig = Figure::new("table2", "Simulated system configuration", "-", "-");
+    fig = fig
+        .with_note(format!(
+            "CPU: {}-core OoO x86 @ {} GHz",
+            cfg.cores,
+            cfg.clock.freq_ghz()
+        ))
+        .with_note(format!(
+            "L1D: {} KB {}-way, {} cycles",
+            cfg.l1d.size_bytes / 1024,
+            cfg.l1d.ways,
+            cfg.l1d.latency_cycles
+        ))
+        .with_note(format!(
+            "L2: {} MB {}-way SRRIP, {} cycles",
+            cfg.l2.size_bytes >> 20,
+            cfg.l2.ways,
+            cfg.l2.latency_cycles
+        ))
+        .with_note(format!(
+            "L3: {} MB {}-way SRRIP ({} MB/core), {} cycles",
+            cfg.l3.size_bytes >> 20,
+            cfg.l3.ways,
+            (cfg.l3.size_bytes >> 20) / u64::from(cfg.cores),
+            cfg.l3.latency_cycles
+        ))
+        .with_note(format!(
+            "TLB: L1 {}-entry / L2 {}-entry, walk {} cycles",
+            cfg.tlb.l1_entries, cfg.tlb.l2_entries, cfg.tlb.walk_latency_cycles
+        ))
+        .with_note(format!(
+            "DRAM: DDR4-2400, {} banks in {} groups, {} B rows, tRCD={} ns tRP={} ns, open-row policy",
+            cfg.dram_geometry.total_banks(),
+            cfg.dram_geometry.bank_groups_per_rank,
+            cfg.dram_geometry.row_bytes,
+            cfg.dram_timing.t_rcd_ns,
+            cfg.dram_timing.t_rp_ns
+        ))
+        .with_note(format!(
+            "PEI: {}-cycle overhead, {} locality-monitor entries",
+            cfg.pim.pei_overhead_cycles, cfg.pim.locality_monitor_entries
+        ));
+    fig
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_pim_row_all_ones() {
+        let f = table1();
+        let pim = f.series_named("PiM Operations").unwrap();
+        for x in 0..4 {
+            assert_eq!(pim.y_at(f64::from(x)), Some(1.0));
+        }
+    }
+
+    #[test]
+    fn table2_mentions_key_parameters() {
+        let f = table2();
+        let all = f.notes.join("\n");
+        assert!(all.contains("2.6 GHz"));
+        assert!(all.contains("16 banks"));
+        assert!(all.contains("DDR4-2400"));
+        assert!(all.contains("13.5 ns"));
+    }
+}

@@ -1,0 +1,26 @@
+//! Experiment harness regenerating every table and figure of the IMPACT
+//! paper's evaluation.
+//!
+//! Each experiment in [`experiments`] is a pure function returning a
+//! structured [`series::Figure`]; the `fig_all` binary renders them as
+//! text/CSV. The per-experiment index lives in DESIGN.md; measured-vs-paper
+//! numbers are recorded in EXPERIMENTS.md.
+//!
+//! | Experiment | Paper artifact |
+//! |---|---|
+//! | [`experiments::delta`] | §3.1 row-buffer hit/conflict microbenchmark |
+//! | [`experiments::table1`] | Table 1 attack-primitive matrix |
+//! | [`experiments::table2`] | Table 2 simulated system configuration |
+//! | [`experiments::fig2`] | Fig. 2 LLC-size sweep |
+//! | [`experiments::fig3`] | Fig. 3 LLC-associativity sweep |
+//! | [`experiments::fig8`] | Fig. 8 PnM/PuM proof-of-concept latencies |
+//! | [`experiments::fig9`] | Fig. 9 covert-channel throughput comparison |
+//! | [`experiments::fig10`] | Fig. 10 sender/receiver breakdown |
+//! | [`experiments::fig11`] | Fig. 11 side-channel bank sweep |
+//! | [`experiments::fig12`] | Fig. 12 defense overheads |
+//! | [`experiments::ablations`] | DESIGN.md §4 ablation studies |
+
+pub mod experiments;
+pub mod series;
+
+pub use series::{Figure, Series};

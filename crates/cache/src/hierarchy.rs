@@ -1,0 +1,283 @@
+//! Three-level inclusive cache hierarchy.
+
+use impact_core::addr::PhysAddr;
+use impact_core::config::SystemConfig;
+use impact_core::time::Cycles;
+
+use crate::cacti;
+use crate::set_assoc::SetAssocCache;
+
+/// Where a load was served.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum HitLevel {
+    /// Served by the L1 data cache.
+    L1,
+    /// Served by the L2 cache.
+    L2,
+    /// Served by the last-level cache.
+    L3,
+    /// Missed everywhere; must go to main memory.
+    Memory,
+}
+
+/// Result of a hierarchy access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HierarchyOutcome {
+    /// Where the line was found.
+    pub level: HitLevel,
+    /// Accumulated lookup latency across the traversed levels. Does **not**
+    /// include main-memory latency — that is the memory controller's job.
+    pub latency: Cycles,
+    /// Number of dirty lines evicted to memory by fills on this access.
+    pub writebacks: u32,
+}
+
+/// The Table 2 cache hierarchy: 32 KiB L1D (LRU), 2 MiB L2 (SRRIP) and a
+/// configurable LLC (SRRIP), maintained inclusive.
+///
+/// Inclusivity matters for the eviction-set baseline: evicting a line from
+/// the LLC back-invalidates it from L1/L2, so LLC eviction suffices to push
+/// the next access to DRAM.
+#[derive(Debug, Clone)]
+pub struct CacheHierarchy {
+    l1: SetAssocCache,
+    l2: SetAssocCache,
+    l3: SetAssocCache,
+}
+
+impl CacheHierarchy {
+    /// Builds the hierarchy from a system configuration, using the
+    /// configured per-level latencies.
+    #[must_use]
+    pub fn from_config(cfg: &SystemConfig) -> CacheHierarchy {
+        CacheHierarchy {
+            l1: SetAssocCache::new(cfg.l1d),
+            l2: SetAssocCache::new(cfg.l2),
+            l3: SetAssocCache::new(cfg.l3),
+        }
+    }
+
+    /// Builds the hierarchy with the LLC latency derived from the CACTI
+    /// model instead of the configured constant — used by the Fig. 2/3/9
+    /// LLC sweeps where size/associativity vary.
+    #[must_use]
+    pub fn from_config_with_cacti_llc(cfg: &SystemConfig) -> CacheHierarchy {
+        let mut l3cfg = cfg.l3;
+        l3cfg.latency_cycles = cacti::llc_latency(l3cfg.size_bytes, l3cfg.ways).0;
+        CacheHierarchy {
+            l1: SetAssocCache::new(cfg.l1d),
+            l2: SetAssocCache::new(cfg.l2),
+            l3: SetAssocCache::new(l3cfg),
+        }
+    }
+
+    /// The last-level cache (for eviction-set construction).
+    #[must_use]
+    pub fn llc(&self) -> &SetAssocCache {
+        &self.l3
+    }
+
+    /// Latency of an LLC lookup.
+    #[must_use]
+    pub fn llc_latency(&self) -> Cycles {
+        self.l3.latency()
+    }
+
+    /// Performs a load, filling caches on the way back.
+    pub fn load(&mut self, addr: PhysAddr) -> HierarchyOutcome {
+        self.access(addr, false)
+    }
+
+    /// Performs a store (write-allocate).
+    pub fn store(&mut self, addr: PhysAddr) -> HierarchyOutcome {
+        self.access(addr, true)
+    }
+
+    fn access(&mut self, addr: PhysAddr, write: bool) -> HierarchyOutcome {
+        let addr = addr.line_aligned();
+        let mut latency = self.l1.latency();
+        if self.l1.access(addr, write).hit {
+            return HierarchyOutcome {
+                level: HitLevel::L1,
+                latency,
+                writebacks: 0,
+            };
+        }
+        latency += self.l2.latency();
+        if self.l2.access(addr, write).hit {
+            return HierarchyOutcome {
+                level: HitLevel::L2,
+                latency,
+                writebacks: 0,
+            };
+        }
+        latency += self.l3.latency();
+        let l3res = self.l3.access(addr, write);
+        let mut writebacks = 0;
+        if let Some(victim) = l3res.evicted {
+            // Maintain inclusion: back-invalidate the victim everywhere.
+            if victim.dirty {
+                writebacks += 1;
+            }
+            if let Some(v) = self.l2.flush(victim.addr) {
+                if v.dirty {
+                    writebacks += 1;
+                }
+            }
+            self.l1.flush(victim.addr);
+        }
+        let level = if l3res.hit {
+            HitLevel::L3
+        } else {
+            HitLevel::Memory
+        };
+        HierarchyOutcome {
+            level,
+            latency,
+            writebacks,
+        }
+    }
+
+    /// Executes `clflush`: probes the LLC and invalidates the line from
+    /// every level. Returns the flush latency (one LLC lookup — §5.2.2:
+    /// "clflush only probes the LLC") and whether a dirty copy must be
+    /// written back to memory.
+    pub fn clflush(&mut self, addr: PhysAddr) -> (Cycles, bool) {
+        let addr = addr.line_aligned();
+        let mut dirty = false;
+        if let Some(v) = self.l1.flush(addr) {
+            dirty |= v.dirty;
+        }
+        if let Some(v) = self.l2.flush(addr) {
+            dirty |= v.dirty;
+        }
+        if let Some(v) = self.l3.flush(addr) {
+            dirty |= v.dirty;
+        }
+        (self.l3.latency(), dirty)
+    }
+
+    /// True if the line is resident at any level.
+    #[must_use]
+    pub fn probe(&self, addr: PhysAddr) -> bool {
+        let addr = addr.line_aligned();
+        self.l1.probe(addr) || self.l2.probe(addr) || self.l3.probe(addr)
+    }
+
+    /// True if the line is resident in the LLC.
+    #[must_use]
+    pub fn probe_llc(&self, addr: PhysAddr) -> bool {
+        self.l3.probe(addr.line_aligned())
+    }
+
+    /// Clears all levels.
+    pub fn reset(&mut self) {
+        self.l1.reset();
+        self.l2.reset();
+        self.l3.reset();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hierarchy() -> CacheHierarchy {
+        CacheHierarchy::from_config(&SystemConfig::paper_table2())
+    }
+
+    #[test]
+    fn cold_miss_then_l1_hit() {
+        let mut h = hierarchy();
+        let a = PhysAddr(0x10_000);
+        let first = h.load(a);
+        assert_eq!(first.level, HitLevel::Memory);
+        // Lookup latency = 4 + 16 + 50 = 70 for Table 2.
+        assert_eq!(first.latency, Cycles(70));
+        let second = h.load(a);
+        assert_eq!(second.level, HitLevel::L1);
+        assert_eq!(second.latency, Cycles(4));
+    }
+
+    #[test]
+    fn clflush_pushes_next_access_to_memory() {
+        let mut h = hierarchy();
+        let a = PhysAddr(0x2000);
+        h.load(a);
+        assert!(h.probe(a));
+        let (lat, dirty) = h.clflush(a);
+        assert_eq!(lat, Cycles(50));
+        assert!(!dirty);
+        assert!(!h.probe(a));
+        assert_eq!(h.load(a).level, HitLevel::Memory);
+    }
+
+    #[test]
+    fn clflush_reports_dirty() {
+        let mut h = hierarchy();
+        let a = PhysAddr(0x3000);
+        h.store(a);
+        let (_, dirty) = h.clflush(a);
+        assert!(dirty);
+    }
+
+    #[test]
+    fn inclusion_back_invalidates() {
+        // Fill one LLC set to capacity + 1 with lines also resident in L1;
+        // the LLC victim must leave L1 too.
+        let cfg = SystemConfig::paper_table2();
+        let mut h = CacheHierarchy::from_config(&cfg);
+        let sets = cfg.l3.sets();
+        let stride = sets * 64;
+        let base = PhysAddr(0);
+        let lines: Vec<PhysAddr> = (0..=u64::from(cfg.l3.ways))
+            .map(|i| PhysAddr(base.0 + i * stride))
+            .collect();
+        for &l in &lines {
+            h.load(l);
+        }
+        let resident = lines.iter().filter(|&&l| h.probe(l)).count();
+        // At least one line must have been evicted from everywhere
+        // (inclusion: an LLC victim cannot linger in L1/L2).
+        assert!(resident <= cfg.l3.ways as usize);
+        let victims: Vec<_> = lines.iter().filter(|&&l| !h.probe(l)).collect();
+        for v in victims {
+            assert_eq!(h.load(*v).level, HitLevel::Memory);
+        }
+    }
+
+    #[test]
+    fn l2_and_l3_hits() {
+        let mut h = hierarchy();
+        let a = PhysAddr(0x4000);
+        h.load(a); // memory
+                   // Evict from L1 only: fill L1's set (8 ways, 64 sets -> stride 4096).
+        for i in 1..=8u64 {
+            h.load(PhysAddr(a.0 + i * 64 * 64));
+        }
+        let again = h.load(a);
+        assert!(
+            again.level == HitLevel::L2 || again.level == HitLevel::L3,
+            "expected L2/L3 hit, got {:?}",
+            again.level
+        );
+    }
+
+    #[test]
+    fn cacti_llc_latency_used_in_sweeps() {
+        let cfg = SystemConfig::paper_table2().with_llc_size(128 << 20);
+        let h = CacheHierarchy::from_config_with_cacti_llc(&cfg);
+        assert_eq!(h.llc_latency(), cacti::llc_latency(128 << 20, 16));
+        assert!(h.llc_latency() > Cycles(300));
+    }
+
+    #[test]
+    fn reset_clears_hierarchy() {
+        let mut h = hierarchy();
+        let a = PhysAddr(0x5000);
+        h.load(a);
+        h.reset();
+        assert!(!h.probe(a));
+        assert_eq!(h.load(a).level, HitLevel::Memory);
+    }
+}

@@ -1,0 +1,229 @@
+//! Physical and virtual addresses and page arithmetic.
+//!
+//! The simulator uses 4 KiB pages and 64-byte cache lines throughout, as in
+//! the paper's simulated system (Table 2).
+
+use core::fmt;
+use core::ops::Add;
+
+use serde::{Deserialize, Serialize};
+
+/// Size of a small page in bytes.
+pub const PAGE_SIZE: u64 = 4096;
+/// Size of a cache line in bytes.
+pub const LINE_SIZE: u64 = 64;
+
+/// A physical memory address.
+///
+/// # Example
+///
+/// ```
+/// use impact_core::addr::{PhysAddr, LINE_SIZE};
+///
+/// let a = PhysAddr(0x1234);
+/// assert_eq!(a.line_aligned().0 % LINE_SIZE, 0);
+/// ```
+#[derive(
+    Debug, Default, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct PhysAddr(pub u64);
+
+impl PhysAddr {
+    /// Rounds the address down to its cache-line base.
+    #[must_use]
+    pub fn line_aligned(self) -> PhysAddr {
+        PhysAddr(self.0 & !(LINE_SIZE - 1))
+    }
+
+    /// Rounds the address down to its page base.
+    #[must_use]
+    pub fn page_aligned(self) -> PhysAddr {
+        PhysAddr(self.0 & !(PAGE_SIZE - 1))
+    }
+
+    /// The physical frame number of this address.
+    #[must_use]
+    pub fn frame_number(self) -> u64 {
+        self.0 / PAGE_SIZE
+    }
+
+    /// The byte offset within the page.
+    #[must_use]
+    pub fn page_offset(self) -> u64 {
+        self.0 % PAGE_SIZE
+    }
+
+    /// The cache-line index within the whole physical address space.
+    #[must_use]
+    pub fn line_number(self) -> u64 {
+        self.0 / LINE_SIZE
+    }
+}
+
+impl fmt::Display for PhysAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "pa:{:#x}", self.0)
+    }
+}
+
+impl Add<u64> for PhysAddr {
+    type Output = PhysAddr;
+    fn add(self, rhs: u64) -> PhysAddr {
+        PhysAddr(self.0 + rhs)
+    }
+}
+
+/// A virtual memory address, private to a simulated process.
+///
+/// # Example
+///
+/// ```
+/// use impact_core::addr::{VirtAddr, PAGE_SIZE};
+///
+/// let v = VirtAddr(3 * PAGE_SIZE + 17);
+/// assert_eq!(v.page_number(), 3);
+/// assert_eq!(v.page_offset(), 17);
+/// ```
+#[derive(
+    Debug, Default, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct VirtAddr(pub u64);
+
+impl VirtAddr {
+    /// The virtual page number of this address.
+    #[must_use]
+    pub fn page_number(self) -> u64 {
+        self.0 / PAGE_SIZE
+    }
+
+    /// The byte offset within the page.
+    #[must_use]
+    pub fn page_offset(self) -> u64 {
+        self.0 % PAGE_SIZE
+    }
+
+    /// Rounds the address down to its cache-line base.
+    #[must_use]
+    pub fn line_aligned(self) -> VirtAddr {
+        VirtAddr(self.0 & !(LINE_SIZE - 1))
+    }
+}
+
+impl fmt::Display for VirtAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "va:{:#x}", self.0)
+    }
+}
+
+impl Add<u64> for VirtAddr {
+    type Output = VirtAddr;
+    fn add(self, rhs: u64) -> VirtAddr {
+        VirtAddr(self.0 + rhs)
+    }
+}
+
+/// Coordinates of a location inside the DRAM device hierarchy (Fig. 1 of the
+/// paper): channel → rank → bank group → bank → row → column.
+#[derive(
+    Debug, Default, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct DramCoord {
+    /// Channel index.
+    pub channel: u32,
+    /// Rank index within the channel.
+    pub rank: u32,
+    /// Bank-group index within the rank.
+    pub bank_group: u32,
+    /// Bank index within the bank group.
+    pub bank: u32,
+    /// Row index within the bank.
+    pub row: u64,
+    /// Byte column offset within the row.
+    pub column: u32,
+}
+
+impl DramCoord {
+    /// Flat bank identifier across the whole device, given the geometry
+    /// described by `banks_per_group`, `groups_per_rank` and
+    /// `ranks_per_channel`.
+    #[must_use]
+    pub fn flat_bank(
+        &self,
+        banks_per_group: u32,
+        groups_per_rank: u32,
+        ranks_per_channel: u32,
+    ) -> usize {
+        let per_rank = banks_per_group * groups_per_rank;
+        let per_channel = per_rank * ranks_per_channel;
+        (self.channel * per_channel
+            + self.rank * per_rank
+            + self.bank_group * banks_per_group
+            + self.bank) as usize
+    }
+}
+
+impl fmt::Display for DramCoord {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "ch{}/rk{}/bg{}/bk{}/row{}/col{}",
+            self.channel, self.rank, self.bank_group, self.bank, self.row, self.column
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn phys_alignment() {
+        let a = PhysAddr(0x1fff);
+        assert_eq!(a.line_aligned(), PhysAddr(0x1fc0));
+        assert_eq!(a.page_aligned(), PhysAddr(0x1000));
+        assert_eq!(a.frame_number(), 1);
+        assert_eq!(a.page_offset(), 0xfff);
+    }
+
+    #[test]
+    fn virt_pages() {
+        let v = VirtAddr(2 * PAGE_SIZE + 100);
+        assert_eq!(v.page_number(), 2);
+        assert_eq!(v.page_offset(), 100);
+    }
+
+    #[test]
+    fn line_numbers_monotone() {
+        assert_eq!(PhysAddr(0).line_number(), 0);
+        assert_eq!(PhysAddr(63).line_number(), 0);
+        assert_eq!(PhysAddr(64).line_number(), 1);
+    }
+
+    #[test]
+    fn flat_bank_layout() {
+        // 4 banks/group, 4 groups/rank, 1 rank/channel -> 16 banks per channel.
+        let c = DramCoord {
+            channel: 0,
+            rank: 0,
+            bank_group: 2,
+            bank: 3,
+            row: 0,
+            column: 0,
+        };
+        assert_eq!(c.flat_bank(4, 4, 1), 11);
+        let c2 = DramCoord { channel: 1, ..c };
+        assert_eq!(c2.flat_bank(4, 4, 1), 27);
+    }
+
+    #[test]
+    fn addr_add() {
+        assert_eq!(PhysAddr(10) + 5, PhysAddr(15));
+        assert_eq!(VirtAddr(10) + 5, VirtAddr(15));
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(format!("{}", PhysAddr(0x40)), "pa:0x40");
+        assert_eq!(format!("{}", VirtAddr(0x40)), "va:0x40");
+    }
+}

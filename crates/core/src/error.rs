@@ -1,0 +1,97 @@
+//! Error types shared across the workspace.
+
+use core::fmt;
+
+/// Result alias using [`Error`].
+pub type Result<T> = core::result::Result<T, Error>;
+
+/// Errors produced by the simulation substrate and attack harnesses.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum Error {
+    /// A physical address fell outside the simulated DRAM device.
+    AddressOutOfRange {
+        /// The offending address.
+        addr: u64,
+        /// The device capacity in bytes.
+        capacity: u64,
+    },
+    /// A virtual address had no mapping in the process page table.
+    UnmappedVirtualAddress {
+        /// The offending virtual address.
+        addr: u64,
+    },
+    /// An access violated a memory-partitioning defense (MPR): the actor
+    /// does not own the target bank.
+    PartitionViolation {
+        /// The actor that issued the access.
+        actor: u32,
+        /// The flat bank index that was targeted.
+        bank: usize,
+    },
+    /// A RowClone operation was malformed (e.g. ranges of different length,
+    /// source and destination in different subarrays, empty mask).
+    InvalidRowClone(String),
+    /// A configuration value was invalid.
+    InvalidConfig(String),
+    /// A memory-massaging request could not be satisfied (e.g. no free frame
+    /// in the requested bank).
+    MassagingFailed(String),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::AddressOutOfRange { addr, capacity } => {
+                write!(
+                    f,
+                    "physical address {addr:#x} outside device capacity {capacity:#x}"
+                )
+            }
+            Error::UnmappedVirtualAddress { addr } => {
+                write!(f, "virtual address {addr:#x} has no mapping")
+            }
+            Error::PartitionViolation { actor, bank } => {
+                write!(
+                    f,
+                    "actor {actor} accessed bank {bank} owned by another partition"
+                )
+            }
+            Error::InvalidRowClone(msg) => write!(f, "invalid rowclone operation: {msg}"),
+            Error::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            Error::MassagingFailed(msg) => write!(f, "memory massaging failed: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = Error::AddressOutOfRange {
+            addr: 0x100,
+            capacity: 0x80,
+        };
+        assert!(e.to_string().contains("0x100"));
+        let e = Error::UnmappedVirtualAddress { addr: 0x42 };
+        assert!(e.to_string().contains("0x42"));
+        let e = Error::PartitionViolation { actor: 1, bank: 7 };
+        assert!(e.to_string().contains("bank 7"));
+        let e = Error::InvalidRowClone("mask empty".into());
+        assert!(e.to_string().contains("mask empty"));
+        let e = Error::InvalidConfig("bad".into());
+        assert!(e.to_string().contains("bad"));
+        let e = Error::MassagingFailed("bank full".into());
+        assert!(e.to_string().contains("bank full"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Error>();
+    }
+}

@@ -1,0 +1,33 @@
+//! Shared vocabulary for the IMPACT reproduction.
+//!
+//! This crate defines the foundational types used by every other crate in the
+//! workspace: simulation time ([`time::Cycles`], [`time::Nanos`]), physical
+//! and virtual addresses ([`addr::PhysAddr`], [`addr::VirtAddr`]),
+//! configuration for the simulated system ([`config::SystemConfig`], which
+//! mirrors Table 2 of the paper), statistics counters ([`stats`]) and a
+//! deterministic, seedable random-number generator ([`rng::SimRng`]).
+//!
+//! # Example
+//!
+//! ```
+//! use impact_core::config::SystemConfig;
+//! use impact_core::time::Nanos;
+//!
+//! let cfg = SystemConfig::paper_table2();
+//! // DDR4-2400 tRCD of 13.5 ns at a 2.6 GHz CPU is ~36 CPU cycles.
+//! let trcd = cfg.clock.cycles_ceil(Nanos(cfg.dram_timing.t_rcd_ns));
+//! assert_eq!(trcd.0, 36);
+//! ```
+
+pub mod addr;
+pub mod config;
+pub mod error;
+pub mod rng;
+pub mod stats;
+pub mod time;
+
+pub use addr::{PhysAddr, VirtAddr};
+pub use config::SystemConfig;
+pub use error::{Error, Result};
+pub use rng::SimRng;
+pub use time::{Cycles, Nanos};

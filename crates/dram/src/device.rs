@@ -1,0 +1,283 @@
+//! Whole-device DRAM model: a collection of independently timed banks.
+
+use impact_core::config::{DramGeometry, SystemConfig};
+use impact_core::time::Cycles;
+
+use crate::bank::{AccessOutcome, Bank, BankStats, RowBufferKind};
+use crate::policy::RowPolicy;
+use crate::timing::ResolvedTiming;
+
+/// A DRAM device: geometry + timing + one [`Bank`] state machine per bank.
+///
+/// The device serves operations addressed by *flat bank index* and row;
+/// address decomposition is the job of an
+/// [`AddressMapping`](crate::mapping::AddressMapping) (owned by the memory
+/// controller).
+///
+/// # Example
+///
+/// ```
+/// use impact_core::config::SystemConfig;
+/// use impact_core::time::Cycles;
+/// use impact_dram::DramDevice;
+///
+/// let mut dram = DramDevice::from_config(&SystemConfig::paper_table2());
+/// assert_eq!(dram.num_banks(), 16);
+/// let out = dram.access(3, 42, Cycles(0));
+/// assert!(out.latency > Cycles::ZERO);
+/// ```
+#[derive(Debug, Clone)]
+pub struct DramDevice {
+    geometry: DramGeometry,
+    timing: ResolvedTiming,
+    policy: RowPolicy,
+    banks: Vec<Bank>,
+}
+
+/// Actor id used when none is supplied.
+const ANON_ACTOR: u32 = u32::MAX;
+
+impl DramDevice {
+    /// Creates a device with explicit geometry, timing and row policy.
+    #[must_use]
+    pub fn new(geometry: DramGeometry, timing: ResolvedTiming, policy: RowPolicy) -> DramDevice {
+        let banks = (0..geometry.total_banks()).map(|_| Bank::new()).collect();
+        DramDevice {
+            geometry,
+            timing,
+            policy,
+            banks,
+        }
+    }
+
+    /// Creates a device from a [`SystemConfig`] with the default open-page
+    /// policy.
+    #[must_use]
+    pub fn from_config(cfg: &SystemConfig) -> DramDevice {
+        DramDevice::new(
+            cfg.dram_geometry,
+            ResolvedTiming::resolve(&cfg.dram_timing, cfg.clock),
+            RowPolicy::open_page(),
+        )
+    }
+
+    /// Device geometry.
+    #[must_use]
+    pub fn geometry(&self) -> &DramGeometry {
+        &self.geometry
+    }
+
+    /// Resolved timing.
+    #[must_use]
+    pub fn timing(&self) -> &ResolvedTiming {
+        &self.timing
+    }
+
+    /// Row policy in effect.
+    #[must_use]
+    pub fn policy(&self) -> RowPolicy {
+        self.policy
+    }
+
+    /// Changes the row policy (used by defenses and ablations).
+    pub fn set_policy(&mut self, policy: RowPolicy) {
+        self.policy = policy;
+    }
+
+    /// Number of banks in the device.
+    #[must_use]
+    pub fn num_banks(&self) -> usize {
+        self.banks.len()
+    }
+
+    /// Immutable view of a bank.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bank` is out of range.
+    #[must_use]
+    pub fn bank(&self, bank: usize) -> &Bank {
+        &self.banks[bank]
+    }
+
+    /// Serves a read/write access (anonymous actor).
+    pub fn access(&mut self, bank: usize, row: u64, now: Cycles) -> AccessOutcome {
+        self.access_as(bank, row, now, ANON_ACTOR)
+    }
+
+    /// Serves a read/write access attributed to `actor`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bank` is out of range.
+    pub fn access_as(&mut self, bank: usize, row: u64, now: Cycles, actor: u32) -> AccessOutcome {
+        let policy = self.policy;
+        let timing = self.timing;
+        self.banks[bank].access(row, now, actor, &timing, policy)
+    }
+
+    /// Classifies an access without serving it.
+    #[must_use]
+    pub fn classify(&self, bank: usize, row: u64, now: Cycles) -> RowBufferKind {
+        self.banks[bank].classify(row, now, self.policy)
+    }
+
+    /// Serves a RowClone FPM copy inside one bank, attributed to `actor`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bank` is out of range.
+    pub fn rowclone_as(
+        &mut self,
+        bank: usize,
+        src_row: u64,
+        dst_row: u64,
+        now: Cycles,
+        actor: u32,
+    ) -> AccessOutcome {
+        let policy = self.policy;
+        let timing = self.timing;
+        let rows_per_subarray = self.geometry.rows_per_subarray;
+        let lines = self.geometry.row_bytes / 64;
+        self.banks[bank].rowclone(
+            src_row,
+            dst_row,
+            now,
+            actor,
+            &timing,
+            policy,
+            rows_per_subarray,
+            lines,
+        )
+    }
+
+    /// Serves RowClone copies in several banks in parallel (the masked
+    /// multi-bank fan-out of IMPACT-PuM). Returns one outcome per set mask
+    /// bit, in ascending bank order, plus the completion time of the whole
+    /// operation (banks operate concurrently, so this is the max).
+    pub fn rowclone_masked_as(
+        &mut self,
+        banks: impl IntoIterator<Item = usize>,
+        src_row: u64,
+        dst_row: u64,
+        now: Cycles,
+        actor: u32,
+    ) -> (Vec<(usize, AccessOutcome)>, Cycles) {
+        let mut outcomes = Vec::new();
+        let mut done = now;
+        for bank in banks {
+            let o = self.rowclone_as(bank, src_row, dst_row, now, actor);
+            done = done.max(o.completed_at);
+            outcomes.push((bank, o));
+        }
+        (outcomes, done)
+    }
+
+    /// Aggregated statistics across all banks.
+    #[must_use]
+    pub fn total_stats(&self) -> BankStats {
+        let mut total = BankStats::default();
+        for b in &self.banks {
+            total.hits += b.stats().hits;
+            total.misses += b.stats().misses;
+            total.conflicts += b.stats().conflicts;
+            total.activations += b.stats().activations;
+            total.rowclones += b.stats().rowclones;
+        }
+        total
+    }
+
+    /// Resets every bank (state and statistics).
+    pub fn reset(&mut self) {
+        for b in &mut self.banks {
+            b.reset();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn device() -> DramDevice {
+        DramDevice::from_config(&SystemConfig::paper_table2())
+    }
+
+    #[test]
+    fn banks_are_independent() {
+        let mut d = device();
+        let a = d.access(0, 1, Cycles(0));
+        let b = d.access(1, 2, Cycles(0));
+        // Both start immediately: no cross-bank serialization.
+        assert_eq!(a.issued_at, Cycles(0));
+        assert_eq!(b.issued_at, Cycles(0));
+    }
+
+    #[test]
+    fn hit_conflict_delta_is_74() {
+        let mut d = device();
+        let m = d.access(0, 10, Cycles(0));
+        let h = d.access(0, 10, m.completed_at);
+        let c = d.access(0, 11, h.completed_at);
+        assert_eq!(c.latency - h.latency, Cycles(74));
+    }
+
+    #[test]
+    fn masked_rowclone_parallelism() {
+        let mut d = device();
+        let (outs, done) = d.rowclone_masked_as([0usize, 1, 2, 3], 5, 6, Cycles(0), 1);
+        assert_eq!(outs.len(), 4);
+        // All banks precharged -> same latency; total time equals one op.
+        let lat = outs[0].1.latency;
+        assert!(outs.iter().all(|(_, o)| o.latency == lat));
+        assert_eq!(done, Cycles(0) + lat);
+    }
+
+    #[test]
+    fn masked_rowclone_interference_detectable() {
+        let mut d = device();
+        // Receiver initializes bank 2 by cloning; row 6 left open.
+        d.rowclone_as(2, 5, 6, Cycles(0), 1);
+        // Sender clones a different row pair in bank 2 -> conflict.
+        let o = d.rowclone_as(2, 100, 101, Cycles(10_000), 2);
+        assert_eq!(o.kind, RowBufferKind::Conflict);
+        assert_eq!(d.bank(2).last_activator(), Some(2));
+    }
+
+    #[test]
+    fn total_stats_aggregate() {
+        let mut d = device();
+        d.access(0, 1, Cycles(0));
+        d.access(1, 1, Cycles(0));
+        d.access(0, 1, Cycles(1_000));
+        let s = d.total_stats();
+        assert_eq!(s.total_accesses(), 3);
+        assert_eq!(s.hits, 1);
+        assert_eq!(s.misses, 2);
+    }
+
+    #[test]
+    fn reset_restores_fresh_device() {
+        let mut d = device();
+        d.access(0, 1, Cycles(0));
+        d.reset();
+        assert_eq!(d.total_stats().total_accesses(), 0);
+        assert_eq!(d.bank(0).raw_open_row(), None);
+    }
+
+    #[test]
+    fn policy_switch() {
+        let mut d = device();
+        d.set_policy(RowPolicy::closed_page());
+        let a = d.access(0, 1, Cycles(0));
+        let b = d.access(0, 1, a.completed_at + Cycles(100));
+        assert_eq!(b.kind, RowBufferKind::Miss);
+    }
+
+    #[test]
+    fn bank_count_follows_geometry() {
+        let cfg = SystemConfig::paper_table2().with_total_banks(1024);
+        let d = DramDevice::from_config(&cfg);
+        assert_eq!(d.num_banks(), 1024);
+    }
+}

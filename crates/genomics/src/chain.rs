@@ -1,0 +1,169 @@
+//! Anchor chaining (minimap2-style, simplified).
+//!
+//! Seeding produces anchors — (read position, reference position) pairs.
+//! Chaining finds the highest-scoring set of co-linear anchors, which
+//! identifies the candidate mapping region (§4.3 assumes the alignment
+//! step includes chaining).
+
+/// A seed match between read and reference.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Anchor {
+    /// Position of the seed in the read.
+    pub read_pos: u32,
+    /// Position of the seed in the reference.
+    pub ref_pos: u32,
+}
+
+impl Anchor {
+    /// Diagonal of the anchor (reference offset implied for read start).
+    #[must_use]
+    pub fn diagonal(&self) -> i64 {
+        i64::from(self.ref_pos) - i64::from(self.read_pos)
+    }
+}
+
+/// A chain of co-linear anchors with its score.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Chain {
+    /// Indices of anchors in the input slice, in read order.
+    pub anchors: Vec<usize>,
+    /// Chain score.
+    pub score: i64,
+}
+
+impl Chain {
+    /// The implied mapping position of the read on the reference
+    /// (diagonal of the first anchor), or `None` for an empty chain.
+    #[must_use]
+    pub fn mapping_position(&self, anchors: &[Anchor]) -> Option<i64> {
+        self.anchors.first().map(|&i| anchors[i].diagonal())
+    }
+}
+
+/// Chains anchors with a simple O(n²) dynamic program.
+///
+/// Scoring: each anchor contributes `seed_weight`; extending from anchor
+/// `j` to `i` costs the gap `|diag_i - diag_j|` weighted by `gap_penalty`
+/// per base, and requires both coordinates to advance.
+///
+/// Returns the best chain (possibly a single anchor) or an empty chain for
+/// no anchors.
+#[must_use]
+pub fn chain_anchors(anchors: &[Anchor], seed_weight: i64, gap_penalty: i64) -> Chain {
+    if anchors.is_empty() {
+        return Chain {
+            anchors: Vec::new(),
+            score: 0,
+        };
+    }
+    let mut order: Vec<usize> = (0..anchors.len()).collect();
+    order.sort_by_key(|&i| (anchors[i].read_pos, anchors[i].ref_pos));
+
+    let n = anchors.len();
+    let mut dp = vec![seed_weight; n]; // best score ending at order[i]
+    let mut prev = vec![usize::MAX; n];
+    for i in 0..n {
+        let ai = anchors[order[i]];
+        for j in 0..i {
+            let aj = anchors[order[j]];
+            if aj.read_pos >= ai.read_pos || aj.ref_pos >= ai.ref_pos {
+                continue;
+            }
+            let gap = (ai.diagonal() - aj.diagonal()).abs();
+            let cand = dp[j] + seed_weight - gap * gap_penalty;
+            if cand > dp[i] {
+                dp[i] = cand;
+                prev[i] = j;
+            }
+        }
+    }
+    let best_end = (0..n).max_by_key(|&i| dp[i]).expect("non-empty");
+    let mut idxs = Vec::new();
+    let mut cur = best_end;
+    loop {
+        idxs.push(order[cur]);
+        if prev[cur] == usize::MAX {
+            break;
+        }
+        cur = prev[cur];
+    }
+    idxs.reverse();
+    Chain {
+        anchors: idxs,
+        score: dp[best_end],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn a(read_pos: u32, ref_pos: u32) -> Anchor {
+        Anchor { read_pos, ref_pos }
+    }
+
+    #[test]
+    fn empty_input() {
+        let c = chain_anchors(&[], 10, 1);
+        assert!(c.anchors.is_empty());
+        assert_eq!(c.score, 0);
+    }
+
+    #[test]
+    fn single_anchor() {
+        let c = chain_anchors(&[a(5, 105)], 10, 1);
+        assert_eq!(c.anchors, vec![0]);
+        assert_eq!(c.score, 10);
+    }
+
+    #[test]
+    fn colinear_anchors_chain_fully() {
+        let anchors = [a(0, 100), a(10, 110), a(20, 120), a(30, 130)];
+        let c = chain_anchors(&anchors, 10, 1);
+        assert_eq!(c.anchors, vec![0, 1, 2, 3]);
+        assert_eq!(c.score, 40);
+        assert_eq!(c.mapping_position(&anchors), Some(100));
+    }
+
+    #[test]
+    fn off_diagonal_outlier_excluded() {
+        // Three co-linear anchors plus one wildly off-diagonal one.
+        let anchors = [a(0, 100), a(10, 110), a(20, 9_000), a(30, 130)];
+        let c = chain_anchors(&anchors, 10, 1);
+        assert!(!c.anchors.contains(&2), "outlier chained: {:?}", c.anchors);
+        assert_eq!(c.anchors, vec![0, 1, 3]);
+    }
+
+    #[test]
+    fn competing_diagonals_pick_denser() {
+        // Diagonal A has 2 anchors, diagonal B has 4.
+        let anchors = [
+            a(0, 100),
+            a(10, 110),
+            a(0, 500),
+            a(8, 508),
+            a(16, 516),
+            a(24, 524),
+        ];
+        let c = chain_anchors(&anchors, 10, 1);
+        assert_eq!(c.anchors, vec![2, 3, 4, 5]);
+        assert_eq!(c.mapping_position(&anchors), Some(500));
+    }
+
+    #[test]
+    fn small_gaps_tolerated() {
+        // Slight diagonal drift (indel of 2 bases) still chains.
+        let anchors = [a(0, 100), a(10, 112), a(20, 122)];
+        let c = chain_anchors(&anchors, 10, 1);
+        assert_eq!(c.anchors.len(), 3);
+    }
+
+    #[test]
+    fn unordered_input_handled() {
+        let anchors = [a(30, 130), a(0, 100), a(20, 120), a(10, 110)];
+        let c = chain_anchors(&anchors, 10, 1);
+        // Chain must be in read order regardless of input order.
+        let read_positions: Vec<u32> = c.anchors.iter().map(|&i| anchors[i].read_pos).collect();
+        assert_eq!(read_positions, vec![0, 10, 20, 30]);
+    }
+}

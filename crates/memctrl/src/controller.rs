@@ -1,0 +1,619 @@
+//! The memory controller proper.
+
+use impact_core::addr::PhysAddr;
+use impact_core::config::SystemConfig;
+use impact_core::error::{Error, Result};
+use impact_core::time::{Clock, Cycles};
+use impact_dram::{AddressMapping, DramDevice, RowBufferKind, RowInterleaved, RowPolicy};
+
+use crate::defense::{ActBankState, Defense};
+
+/// A periodic per-bank blocking mechanism: refresh (REF) or RowHammer
+/// mitigations (RFM / PRAC, §8.4 of the paper). Once per `interval` per
+/// bank, the next request to that bank is delayed by `block` — the
+/// paper notes these preventive actions cost 350–1400 ns, far above the
+/// row-conflict delta, so receivers can filter them out.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PeriodicBlock {
+    /// Interval between blocking events, in cycles.
+    pub interval: Cycles,
+    /// Duration of one blocking event, in cycles.
+    pub block: Cycles,
+}
+
+impl PeriodicBlock {
+    /// DDR5-style refresh management blocking: one preventive action every
+    /// ~4 us costing 350 ns (the paper's lower bound), at the 2.6 GHz
+    /// clock.
+    #[must_use]
+    pub fn rfm_paper_default() -> PeriodicBlock {
+        PeriodicBlock {
+            interval: Cycles(10_400), // 4 us
+            block: Cycles(910),       // 350 ns
+        }
+    }
+}
+
+/// Result of one memory access through the controller.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemAccess {
+    /// The accessed physical address.
+    pub addr: PhysAddr,
+    /// Flat bank index the access mapped to.
+    pub bank: usize,
+    /// Row within the bank.
+    pub row: u64,
+    /// Ground-truth row-buffer classification (before any defense masking).
+    pub kind: RowBufferKind,
+    /// Latency observed by the requester, including the controller front
+    /// end and any defense-imposed padding.
+    pub latency: Cycles,
+    /// Completion time.
+    pub completed_at: Cycles,
+}
+
+/// Result of a masked RowClone operation (one per-bank copy per mask bit).
+#[derive(Debug, Clone)]
+pub struct RowCloneOutcome {
+    /// Per-bank outcomes: (flat bank, classification, observed latency).
+    pub per_bank: Vec<(usize, RowBufferKind, Cycles)>,
+    /// Latency of the whole masked operation as observed by the issuing
+    /// thread: banks operate in parallel, so this is the slowest bank plus
+    /// the front-end overhead.
+    pub latency: Cycles,
+    /// Completion time of the whole operation.
+    pub completed_at: Cycles,
+}
+
+/// Controller statistics.
+#[derive(Debug, Default, Clone)]
+pub struct CtrlStats {
+    /// Demand accesses served.
+    pub accesses: u64,
+    /// RowClone operations served (whole masked requests).
+    pub rowclones: u64,
+    /// Requests delayed by a periodic blocking event (REF/RFM/PRAC).
+    pub blocked: u64,
+    /// Accesses that were served at defense-padded latency.
+    pub padded: u64,
+    /// Accesses rejected by MPR.
+    pub partition_rejects: u64,
+}
+
+/// The memory controller: address mapping + DRAM device + defenses.
+pub struct MemoryController {
+    dram: DramDevice,
+    mapping: Box<dyn AddressMapping>,
+    overhead: Cycles,
+    clock: Clock,
+    defense: Defense,
+    act_state: Vec<ActBankState>,
+    blocking: Option<PeriodicBlock>,
+    block_epoch: Vec<u64>,
+    stats: CtrlStats,
+}
+
+impl core::fmt::Debug for MemoryController {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("MemoryController")
+            .field("banks", &self.dram.num_banks())
+            .field("defense", &self.defense.name())
+            .field("overhead", &self.overhead)
+            .finish()
+    }
+}
+
+impl MemoryController {
+    /// Creates a controller over `dram` with an explicit mapping.
+    #[must_use]
+    pub fn new(
+        dram: DramDevice,
+        mapping: Box<dyn AddressMapping>,
+        overhead: Cycles,
+        clock: Clock,
+    ) -> MemoryController {
+        let banks = dram.num_banks();
+        MemoryController {
+            dram,
+            mapping,
+            overhead,
+            clock,
+            defense: Defense::None,
+            act_state: vec![ActBankState::default(); banks],
+            blocking: None,
+            block_epoch: vec![0; banks],
+            stats: CtrlStats::default(),
+        }
+    }
+
+    /// Enables a periodic blocking mechanism (refresh / RFM / PRAC); pass
+    /// `None` to disable.
+    pub fn set_periodic_block(&mut self, blocking: Option<PeriodicBlock>) {
+        self.blocking = blocking;
+        self.block_epoch = vec![0; self.dram.num_banks()];
+    }
+
+    /// The active periodic blocking mechanism, if any.
+    #[must_use]
+    pub fn periodic_block(&self) -> Option<PeriodicBlock> {
+        self.blocking
+    }
+
+    /// Blocking delay due at `bank` for a request at `now` (consumes the
+    /// pending event).
+    fn take_block_delay(&mut self, bank: usize, now: Cycles) -> Cycles {
+        let Some(b) = self.blocking else {
+            return Cycles::ZERO;
+        };
+        let epoch = now.0 / b.interval.0.max(1);
+        if epoch > self.block_epoch[bank] {
+            self.block_epoch[bank] = epoch;
+            self.stats.blocked += 1;
+            b.block
+        } else {
+            Cycles::ZERO
+        }
+    }
+
+    /// Creates the Table 2 controller: row-interleaved mapping, open-page
+    /// policy, no defense.
+    #[must_use]
+    pub fn from_config(cfg: &SystemConfig) -> MemoryController {
+        let dram = DramDevice::from_config(cfg);
+        let mapping = Box::new(RowInterleaved::new(cfg.dram_geometry));
+        MemoryController::new(
+            dram,
+            mapping,
+            Cycles(cfg.memctrl_overhead_cycles),
+            cfg.clock,
+        )
+    }
+
+    /// Installs a defense. CRP switches the device row policy; disabling
+    /// CRP restores the open-page policy.
+    pub fn set_defense(&mut self, defense: Defense) {
+        match &defense {
+            Defense::Crp => self.dram.set_policy(RowPolicy::closed_page()),
+            _ => self.dram.set_policy(RowPolicy::open_page()),
+        }
+        self.act_state = vec![ActBankState::default(); self.dram.num_banks()];
+        self.defense = defense;
+    }
+
+    /// The active defense.
+    #[must_use]
+    pub fn defense(&self) -> &Defense {
+        &self.defense
+    }
+
+    /// The DRAM device (ground-truth state inspection).
+    #[must_use]
+    pub fn dram(&self) -> &DramDevice {
+        &self.dram
+    }
+
+    /// Mutable device access (for ablations that change the row policy).
+    pub fn dram_mut(&mut self) -> &mut DramDevice {
+        &mut self.dram
+    }
+
+    /// The address mapping.
+    #[must_use]
+    pub fn mapping(&self) -> &dyn AddressMapping {
+        self.mapping.as_ref()
+    }
+
+    /// Controller statistics.
+    #[must_use]
+    pub fn stats(&self) -> &CtrlStats {
+        &self.stats
+    }
+
+    /// Front-end overhead charged on every request.
+    #[must_use]
+    pub fn overhead(&self) -> Cycles {
+        self.overhead
+    }
+
+    /// Serves a demand access to `addr` at `now` on behalf of `actor`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::PartitionViolation`] if MPR is active and the actor
+    /// does not own the target bank, and [`Error::AddressOutOfRange`] if the
+    /// address exceeds the device capacity.
+    pub fn access(&mut self, addr: PhysAddr, now: Cycles, actor: u32) -> Result<MemAccess> {
+        self.check_capacity(addr)?;
+        let bank = self.mapping.flat_bank(addr);
+        let row = self.mapping.map(addr).row;
+        self.check_partition(bank, actor)?;
+        self.stats.accesses += 1;
+
+        let block = self.take_block_delay(bank, now);
+        let out = self.dram.access_as(bank, row, now + block, actor);
+        let raw_latency = out.completed_at - now + self.overhead;
+        let latency = self.apply_latency_defense(bank, out.kind, raw_latency, now);
+        Ok(MemAccess {
+            addr,
+            bank,
+            row,
+            kind: out.kind,
+            latency,
+            completed_at: now + latency,
+        })
+    }
+
+    /// Serves a masked RowClone request (Listing 2): for each set bit `i`
+    /// of `mask`, copies the row containing `src + i*row_bytes` onto the
+    /// row containing `dst + i*row_bytes`, all in parallel.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidRowClone`] if the mask is empty or a source
+    /// and destination chunk map to different banks (FPM copies are
+    /// intra-bank), [`Error::PartitionViolation`] under MPR, and
+    /// [`Error::AddressOutOfRange`] for out-of-device addresses.
+    pub fn rowclone(
+        &mut self,
+        src: PhysAddr,
+        dst: PhysAddr,
+        mask: u64,
+        now: Cycles,
+        actor: u32,
+    ) -> Result<RowCloneOutcome> {
+        if mask == 0 {
+            return Err(Error::InvalidRowClone("empty bank mask".into()));
+        }
+        let row_bytes = self.dram.geometry().row_bytes;
+        // Pre-validate every lane before touching any bank state.
+        let mut lanes = Vec::new();
+        for i in 0..64u64 {
+            if mask & (1 << i) == 0 {
+                continue;
+            }
+            let s = src + i * row_bytes;
+            let d = dst + i * row_bytes;
+            self.check_capacity(s)?;
+            self.check_capacity(d)?;
+            let sc = self.mapping.map(s);
+            let dc = self.mapping.map(d);
+            let sbank = self.mapping.flat_bank(s);
+            let dbank = self.mapping.flat_bank(d);
+            if sbank != dbank {
+                return Err(Error::InvalidRowClone(format!(
+                    "mask bit {i}: src bank {sbank} != dst bank {dbank}"
+                )));
+            }
+            self.check_partition(sbank, actor)?;
+            lanes.push((sbank, sc.row, dc.row));
+        }
+        self.stats.rowclones += 1;
+
+        let mut per_bank = Vec::with_capacity(lanes.len());
+        let mut completed = now;
+        for (bank, src_row, dst_row) in lanes {
+            let block = self.take_block_delay(bank, now);
+            let out = self
+                .dram
+                .rowclone_as(bank, src_row, dst_row, now + block, actor);
+            let raw = out.completed_at - now + self.overhead;
+            let lat = self.apply_latency_defense(bank, out.kind, raw, now);
+            completed = completed.max(now + lat);
+            per_bank.push((bank, out.kind, lat));
+        }
+        Ok(RowCloneOutcome {
+            latency: completed - now,
+            per_bank,
+            completed_at: completed,
+        })
+    }
+
+    /// Worst-case (constant-time) latency served under CTD/ACT padding.
+    #[must_use]
+    pub fn worst_case_latency(&self) -> Cycles {
+        self.dram.timing().worst_case_latency() + self.overhead
+    }
+
+    fn check_capacity(&self, addr: PhysAddr) -> Result<()> {
+        let capacity = self.dram.geometry().capacity_bytes();
+        if addr.0 >= capacity {
+            Err(Error::AddressOutOfRange {
+                addr: addr.0,
+                capacity,
+            })
+        } else {
+            Ok(())
+        }
+    }
+
+    fn check_partition(&mut self, bank: usize, actor: u32) -> Result<()> {
+        if let Defense::Mpr(p) = &self.defense {
+            if !p.allows(bank, actor) {
+                self.stats.partition_rejects += 1;
+                return Err(Error::PartitionViolation { actor, bank });
+            }
+        }
+        Ok(())
+    }
+
+    /// Applies CTD/ACT latency padding and updates ACT bookkeeping.
+    fn apply_latency_defense(
+        &mut self,
+        bank: usize,
+        kind: RowBufferKind,
+        raw: Cycles,
+        now: Cycles,
+    ) -> Cycles {
+        match &self.defense {
+            Defense::Ctd => {
+                self.stats.padded += 1;
+                raw.max(self.worst_case_latency())
+            }
+            Defense::Act(cfg) => {
+                let cfg = *cfg;
+                let epoch_len = cfg.epoch_cycles(self.clock).0.max(1);
+                let epoch = now.0 / epoch_len;
+                let state = &mut self.act_state[bank];
+                state.roll_to(epoch, &cfg);
+                if kind == RowBufferKind::Conflict {
+                    state.conflicts += 1;
+                }
+                if state.constant_time() {
+                    self.stats.padded += 1;
+                    raw.max(self.worst_case_latency())
+                } else {
+                    raw
+                }
+            }
+            _ => raw,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::defense::{ActConfig, MprPartition};
+
+    fn controller() -> MemoryController {
+        MemoryController::from_config(&SystemConfig::paper_table2())
+    }
+
+    /// Address in `bank` at `row` (row-interleaved mapping).
+    fn addr_in(mc: &MemoryController, bank: usize, row: u64) -> PhysAddr {
+        mc.mapping().compose(bank, row, 0)
+    }
+
+    #[test]
+    fn access_hits_after_miss() {
+        let mut mc = controller();
+        let a = addr_in(&mc, 3, 10);
+        let first = mc.access(a, Cycles(0), 0).unwrap();
+        assert_eq!(first.kind, RowBufferKind::Miss);
+        let second = mc.access(a, first.completed_at, 0).unwrap();
+        assert_eq!(second.kind, RowBufferKind::Hit);
+        // Observed delta includes no extra overhead difference.
+        let b = addr_in(&mc, 3, 11);
+        let third = mc.access(b, second.completed_at, 0).unwrap();
+        assert_eq!(third.kind, RowBufferKind::Conflict);
+        assert_eq!(third.latency - second.latency, Cycles(74));
+    }
+
+    #[test]
+    fn capacity_enforced() {
+        let mut mc = controller();
+        let cap = mc.dram().geometry().capacity_bytes();
+        let e = mc.access(PhysAddr(cap), Cycles(0), 0).unwrap_err();
+        assert!(matches!(e, Error::AddressOutOfRange { .. }));
+    }
+
+    #[test]
+    fn mpr_blocks_foreign_banks() {
+        let mut mc = controller();
+        let mut p = MprPartition::new(16);
+        p.assign_round_robin(&[1, 2]);
+        mc.set_defense(Defense::Mpr(p));
+        let a0 = addr_in(&mc, 0, 5); // bank 0 owned by actor 1
+        assert!(mc.access(a0, Cycles(0), 1).is_ok());
+        let e = mc.access(a0, Cycles(0), 2).unwrap_err();
+        assert!(matches!(e, Error::PartitionViolation { bank: 0, .. }));
+        assert_eq!(mc.stats().partition_rejects, 1);
+    }
+
+    #[test]
+    fn crp_defense_closes_rows() {
+        let mut mc = controller();
+        mc.set_defense(Defense::Crp);
+        let a = addr_in(&mc, 0, 5);
+        let f = mc.access(a, Cycles(0), 0).unwrap();
+        let s = mc.access(a, f.completed_at + Cycles(100), 0).unwrap();
+        assert_eq!(f.kind, RowBufferKind::Miss);
+        assert_eq!(s.kind, RowBufferKind::Miss);
+    }
+
+    #[test]
+    fn ctd_constant_latency() {
+        let mut mc = controller();
+        mc.set_defense(Defense::Ctd);
+        let a = addr_in(&mc, 0, 5);
+        let b = addr_in(&mc, 0, 6);
+        let f = mc.access(a, Cycles(0), 0).unwrap();
+        let h = mc.access(a, f.completed_at, 0).unwrap();
+        let c = mc.access(b, h.completed_at, 0).unwrap();
+        // Hit and conflict observe identical latency: channel closed.
+        assert_eq!(h.latency, c.latency);
+        assert_eq!(h.latency, mc.worst_case_latency());
+    }
+
+    #[test]
+    fn act_pads_after_conflicts() {
+        let mut mc = controller();
+        mc.set_defense(Defense::Act(ActConfig::mild()));
+        let a = addr_in(&mc, 0, 5);
+        let b = addr_in(&mc, 0, 6);
+        let epoch = ActConfig::mild().epoch_cycles(Clock::paper_default()).0;
+        // Epoch 0: create a conflict.
+        mc.access(a, Cycles(0), 0).unwrap();
+        mc.access(b, Cycles(200), 0).unwrap(); // conflict
+                                               // Epoch 1: bank 0 must now be constant-time.
+        let h = mc.access(b, Cycles(epoch + 10), 0).unwrap();
+        assert_eq!(h.kind, RowBufferKind::Hit);
+        assert_eq!(h.latency, mc.worst_case_latency());
+        // Epoch 4 (past ct window, no further conflicts): back to normal.
+        let h2 = mc.access(b, Cycles(4 * epoch + 10), 0).unwrap();
+        assert!(h2.latency < mc.worst_case_latency());
+    }
+
+    #[test]
+    fn act_ignores_conflict_free_banks() {
+        let mut mc = controller();
+        mc.set_defense(Defense::Act(ActConfig::aggressive()));
+        let a = addr_in(&mc, 1, 5);
+        let f = mc.access(a, Cycles(0), 0).unwrap();
+        let h = mc.access(a, f.completed_at, 0).unwrap();
+        assert!(h.latency < mc.worst_case_latency());
+        assert_eq!(mc.stats().padded, 0);
+    }
+
+    #[test]
+    fn rowclone_parallel_lanes() {
+        let mut mc = controller();
+        let row_bytes = mc.dram().geometry().row_bytes;
+        // Contiguous ranges spanning banks 0..16 (row-interleaved).
+        let src = PhysAddr(0);
+        let dst = PhysAddr(64 * 16 * row_bytes); // 64 rows further: same banks
+        let out = mc.rowclone(src, dst, 0xFFFF, Cycles(0), 0).unwrap();
+        assert_eq!(out.per_bank.len(), 16);
+        // Parallel: the whole op costs one lane, not sixteen.
+        let max_lane = out.per_bank.iter().map(|(_, _, l)| *l).max().unwrap();
+        assert_eq!(out.latency, max_lane);
+    }
+
+    #[test]
+    fn rowclone_rejects_empty_mask_and_cross_bank() {
+        let mut mc = controller();
+        let e = mc
+            .rowclone(PhysAddr(0), PhysAddr(8192), 0, Cycles(0), 0)
+            .unwrap_err();
+        assert!(matches!(e, Error::InvalidRowClone(_)));
+        // dst shifted by one row -> lanes land in different banks.
+        let row_bytes = mc.dram().geometry().row_bytes;
+        let e = mc
+            .rowclone(PhysAddr(0), PhysAddr(row_bytes), 1, Cycles(0), 0)
+            .unwrap_err();
+        assert!(matches!(e, Error::InvalidRowClone(_)));
+    }
+
+    #[test]
+    fn rowclone_interference_is_timed() {
+        let mut mc = controller();
+        let row_bytes = mc.dram().geometry().row_bytes;
+        let src = PhysAddr(0);
+        let dst = PhysAddr(64 * 16 * row_bytes);
+        // Receiver initializes bank 0 (mask bit 0).
+        let init = mc.rowclone(src, dst, 0b1, Cycles(0), 1).unwrap();
+        // Sender clones other rows in bank 0.
+        let s_src = PhysAddr(128 * 16 * row_bytes);
+        let s_dst = PhysAddr(192 * 16 * row_bytes);
+        mc.rowclone(s_src, s_dst, 0b1, Cycles(10_000), 2).unwrap();
+        // Receiver probes: conflict -> slower than its init-hit path.
+        let probe = mc.rowclone(dst, src, 0b1, Cycles(20_000), 1).unwrap();
+        assert_eq!(probe.per_bank[0].1, RowBufferKind::Conflict);
+        assert!(probe.latency > init.latency);
+    }
+
+    #[test]
+    fn periodic_block_delays_once_per_interval() {
+        let mut mc = controller();
+        mc.set_periodic_block(Some(PeriodicBlock {
+            interval: Cycles(10_000),
+            block: Cycles(910),
+        }));
+        let a = addr_in(&mc, 0, 1);
+        // First access of epoch 1 pays the block.
+        let open = mc.access(a, Cycles(10_500), 0).unwrap();
+        let hit = mc.access(a, Cycles(11_600), 0).unwrap();
+        assert!(
+            open.latency > hit.latency + Cycles(800),
+            "block not charged"
+        );
+        assert_eq!(mc.stats().blocked, 1);
+        // Next epoch pays again.
+        mc.access(a, Cycles(21_000), 0).unwrap();
+        assert_eq!(mc.stats().blocked, 2);
+    }
+
+    #[test]
+    fn periodic_block_is_per_bank() {
+        let mut mc = controller();
+        mc.set_periodic_block(Some(PeriodicBlock::rfm_paper_default()));
+        let a = addr_in(&mc, 0, 1);
+        let b = addr_in(&mc, 1, 1);
+        mc.access(a, Cycles(50_000), 0).unwrap();
+        mc.access(b, Cycles(50_000), 0).unwrap();
+        assert_eq!(mc.stats().blocked, 2);
+    }
+
+    #[test]
+    fn stats_count() {
+        let mut mc = controller();
+        let a = addr_in(&mc, 0, 1);
+        mc.access(a, Cycles(0), 0).unwrap();
+        mc.access(a, Cycles(1000), 0).unwrap();
+        assert_eq!(mc.stats().accesses, 2);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use crate::defense::MprPartition;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// CTD: every access observes exactly the worst-case latency, for
+        /// any address/time pattern — the constant-time guarantee.
+        #[test]
+        fn ctd_is_constant_time(
+            reqs in prop::collection::vec((0u64..(1u64<<24), 0u64..1_000_000), 1..80)
+        ) {
+            let mut mc = MemoryController::from_config(&SystemConfig::paper_table2());
+            mc.set_defense(Defense::Ctd);
+            let worst = mc.worst_case_latency();
+            for (addr, at) in reqs {
+                let out = mc.access(PhysAddr(addr), Cycles(at), 0).unwrap();
+                // Queueing can exceed the floor; the defense never lets an
+                // access complete faster than worst case.
+                prop_assert!(out.latency >= worst);
+            }
+        }
+
+        /// MPR: an actor can never touch a bank owned by someone else, and
+        /// always reaches its own banks.
+        #[test]
+        fn mpr_is_airtight(accesses in prop::collection::vec((0usize..16, 0u64..1000), 1..60)) {
+            let mut mc = MemoryController::from_config(&SystemConfig::paper_table2());
+            let mut p = MprPartition::new(16);
+            p.assign_round_robin(&[0, 1]);
+            mc.set_defense(Defense::Mpr(p));
+            let mut now = 0u64;
+            for (bank, row) in accesses {
+                now += 1000;
+                let addr = mc.mapping().compose(bank, row, 0);
+                let owner = (bank % 2) as u32;
+                prop_assert!(mc.access(addr, Cycles(now), owner).is_ok());
+                prop_assert!(mc.access(addr, Cycles(now), owner ^ 1).is_err());
+            }
+        }
+
+        /// Observed latency always includes the controller front end and
+        /// never underruns the raw DRAM hit latency.
+        #[test]
+        fn latency_floor(addr in 0u64..(1u64<<24), at in 0u64..1_000_000) {
+            let mut mc = MemoryController::from_config(&SystemConfig::paper_table2());
+            let floor = mc.dram().timing().hit_latency() + mc.overhead();
+            let out = mc.access(PhysAddr(addr), Cycles(at), 0).unwrap();
+            prop_assert!(out.latency >= floor);
+        }
+    }
+}

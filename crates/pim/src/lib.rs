@@ -1,0 +1,38 @@
+//! Processing-in-Memory architectures for the IMPACT reproduction.
+//!
+//! Two PiM approaches are modelled, matching §4 of the paper:
+//!
+//! * **PnM — PiM-Enabled Instructions (PEI)** ([`pei`]): per-bank PEI
+//!   Computation Units (PCUs) plus a PEI Management Unit (PMU) whose
+//!   locality monitor decides whether each PEI executes host-side (through
+//!   the cache hierarchy) or memory-side (directly at the bank). The
+//!   IMPACT-PnM attack deliberately defeats the monitor by touching a
+//!   different cache line on every operation.
+//! * **PuM — RowClone** ([`rowclone`]): bulk in-DRAM copy issued by
+//!   userspace with a source range, destination range and bank mask; the
+//!   memory controller fans the masked request out to banks in parallel
+//!   (Listing 2 of the paper).
+//!
+//! # Example
+//!
+//! ```
+//! use impact_core::config::SystemConfig;
+//! use impact_core::addr::PhysAddr;
+//! use impact_core::time::Cycles;
+//! use impact_memctrl::MemoryController;
+//! use impact_pim::pei::{ExecSite, PeiEngine};
+//!
+//! let cfg = SystemConfig::paper_table2();
+//! let mut mc = MemoryController::from_config(&cfg);
+//! let mut pei = PeiEngine::new(cfg.pim);
+//! // A cold line has no locality: the PMU sends the PEI memory-side.
+//! let out = pei.execute(&mut mc, PhysAddr(0x1000), Cycles(0), 0)?;
+//! assert_eq!(out.site, ExecSite::MemorySide);
+//! # Ok::<(), impact_core::Error>(())
+//! ```
+
+pub mod pei;
+pub mod rowclone;
+
+pub use pei::{ExecSite, PeiEngine, PeiOutcome};
+pub use rowclone::{mask_from_bits, RowCloneEngine};

@@ -1,0 +1,299 @@
+//! PiM-Enabled Instructions (PEI), the PnM substrate (Ahn et al., ISCA'15).
+//!
+//! The PEI architecture (§4.1 of the paper) has two key components:
+//!
+//! * **PCUs** (PEI Computation Units) near each DRAM bank and in the CPU:
+//!   we model the memory-side PCU as a fixed transport latency plus a
+//!   direct DRAM access, and charge the 3-cycle PEI bookkeeping overhead
+//!   the paper takes from the PEI proposal.
+//! * **PMU** (PEI Management Unit) with a *locality monitor*: application
+//!   regions with high data locality execute host-side to benefit from
+//!   caches; low-locality regions execute memory-side. The monitor is a
+//!   small direct-mapped table of per-line access counters.
+
+use impact_core::addr::PhysAddr;
+use impact_core::config::PimConfig;
+use impact_core::error::Result;
+use impact_core::time::Cycles;
+use impact_dram::RowBufferKind;
+use impact_memctrl::MemoryController;
+
+/// Where the PMU decided to execute a PEI.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ExecSite {
+    /// Executed on the host-side PCU, through the cache hierarchy.
+    Host,
+    /// Executed on the memory-side PCU next to the DRAM bank.
+    MemorySide,
+}
+
+/// Result of executing one PEI.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PeiOutcome {
+    /// Execution site chosen by the PMU.
+    pub site: ExecSite,
+    /// Latency observed by the issuing thread.
+    pub latency: Cycles,
+    /// Row-buffer classification for memory-side execution (None when the
+    /// PEI ran host-side; the host path is timed by the caller's cache
+    /// model).
+    pub kind: Option<RowBufferKind>,
+    /// Completion time.
+    pub completed_at: Cycles,
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct MonitorEntry {
+    line: u64,
+    count: u32,
+    valid: bool,
+}
+
+/// The PMU locality monitor: a direct-mapped table of per-line counters.
+///
+/// A PEI whose target line has been seen at least `threshold` times in the
+/// table is classified high-locality (host execution). Attackers bypass it
+/// by touching a fresh cache line per operation (§4.1: "The receiver
+/// accesses the next cache line in the initialized row").
+#[derive(Debug, Clone)]
+pub struct LocalityMonitor {
+    entries: Vec<MonitorEntry>,
+    threshold: u32,
+}
+
+impl LocalityMonitor {
+    /// Creates a monitor with `entries` slots and the given threshold.
+    #[must_use]
+    pub fn new(entries: u32, threshold: u32) -> LocalityMonitor {
+        LocalityMonitor {
+            entries: vec![MonitorEntry::default(); entries.max(1) as usize],
+            threshold: threshold.max(1),
+        }
+    }
+
+    /// Observes an access to `line` and reports whether the PMU considers
+    /// it high-locality *before* this access.
+    pub fn observe(&mut self, line: u64) -> bool {
+        let idx = (line as usize) % self.entries.len();
+        let e = &mut self.entries[idx];
+        if e.valid && e.line == line {
+            let high = e.count >= self.threshold;
+            e.count = e.count.saturating_add(1);
+            high
+        } else {
+            *e = MonitorEntry {
+                line,
+                count: 1,
+                valid: true,
+            };
+            false
+        }
+    }
+
+    /// Clears all learned locality.
+    pub fn reset(&mut self) {
+        for e in &mut self.entries {
+            *e = MonitorEntry::default();
+        }
+    }
+}
+
+/// The PEI engine: PMU + memory-side PCU timing.
+#[derive(Debug, Clone)]
+pub struct PeiEngine {
+    cfg: PimConfig,
+    monitor: LocalityMonitor,
+}
+
+impl PeiEngine {
+    /// Creates a PEI engine from the PiM configuration.
+    #[must_use]
+    pub fn new(cfg: PimConfig) -> PeiEngine {
+        PeiEngine {
+            monitor: LocalityMonitor::new(cfg.locality_monitor_entries, cfg.locality_threshold),
+            cfg,
+        }
+    }
+
+    /// The PiM configuration.
+    #[must_use]
+    pub fn config(&self) -> &PimConfig {
+        &self.cfg
+    }
+
+    /// PMU decision for a PEI targeting `addr` (also updates the monitor).
+    pub fn decide(&mut self, addr: PhysAddr) -> ExecSite {
+        if self.monitor.observe(addr.line_number()) {
+            ExecSite::Host
+        } else {
+            ExecSite::MemorySide
+        }
+    }
+
+    /// Executes a PEI (e.g. `pim_add`) targeting `addr` at `now` for
+    /// `actor`, letting the PMU pick the site.
+    ///
+    /// Host-side execution is returned with only the PEI overhead charged;
+    /// the caller (the system simulator) adds its cache-path latency. The
+    /// memory-side path is fully timed here.
+    ///
+    /// # Errors
+    ///
+    /// Propagates memory-controller errors (partition violations,
+    /// out-of-range addresses) for memory-side execution.
+    pub fn execute(
+        &mut self,
+        mc: &mut MemoryController,
+        addr: PhysAddr,
+        now: Cycles,
+        actor: u32,
+    ) -> Result<PeiOutcome> {
+        match self.decide(addr) {
+            ExecSite::Host => {
+                let latency = Cycles(self.cfg.pei_overhead_cycles);
+                Ok(PeiOutcome {
+                    site: ExecSite::Host,
+                    latency,
+                    kind: None,
+                    completed_at: now + latency,
+                })
+            }
+            ExecSite::MemorySide => self.execute_memory_side(mc, addr, now, actor),
+        }
+    }
+
+    /// Forces memory-side execution (used once the attacker has arranged
+    /// to bypass the monitor; also the path for explicitly offloaded
+    /// regions).
+    ///
+    /// # Errors
+    ///
+    /// Propagates memory-controller errors.
+    pub fn execute_memory_side(
+        &mut self,
+        mc: &mut MemoryController,
+        addr: PhysAddr,
+        now: Cycles,
+        actor: u32,
+    ) -> Result<PeiOutcome> {
+        let overhead = Cycles(self.cfg.pei_overhead_cycles + self.cfg.pcu_transport_cycles);
+        let access = mc.access(addr, now + overhead, actor)?;
+        let latency = overhead + access.latency;
+        Ok(PeiOutcome {
+            site: ExecSite::MemorySide,
+            latency,
+            kind: Some(access.kind),
+            completed_at: now + latency,
+        })
+    }
+
+    /// Resets the PMU locality monitor.
+    pub fn reset_monitor(&mut self) {
+        self.monitor.reset();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use impact_core::config::SystemConfig;
+
+    fn setup() -> (MemoryController, PeiEngine) {
+        let cfg = SystemConfig::paper_table2();
+        (MemoryController::from_config(&cfg), PeiEngine::new(cfg.pim))
+    }
+
+    #[test]
+    fn cold_lines_go_memory_side() {
+        let (mut mc, mut pei) = setup();
+        let out = pei.execute(&mut mc, PhysAddr(0x80), Cycles(0), 0).unwrap();
+        assert_eq!(out.site, ExecSite::MemorySide);
+        assert!(out.kind.is_some());
+    }
+
+    #[test]
+    fn hot_lines_go_host_side() {
+        let (mut mc, mut pei) = setup();
+        let addr = PhysAddr(0x40);
+        // Warm the monitor past the threshold (2).
+        pei.execute(&mut mc, addr, Cycles(0), 0).unwrap();
+        pei.execute(&mut mc, addr, Cycles(1000), 0).unwrap();
+        let out = pei.execute(&mut mc, addr, Cycles(2000), 0).unwrap();
+        assert_eq!(out.site, ExecSite::Host);
+        assert_eq!(out.kind, None);
+        assert_eq!(out.latency, Cycles(3));
+    }
+
+    #[test]
+    fn attacker_bypasses_monitor_with_fresh_lines() {
+        // Accessing a different cache line in the row each time keeps every
+        // PEI memory-side (the IMPACT-PnM strategy).
+        let (mut mc, mut pei) = setup();
+        for i in 0..64u64 {
+            let out = pei
+                .execute(&mut mc, PhysAddr(i * 64), Cycles(i * 1000), 0)
+                .unwrap();
+            assert_eq!(out.site, ExecSite::MemorySide, "iteration {i}");
+        }
+    }
+
+    #[test]
+    fn memory_side_observes_row_buffer_state() {
+        let (mut mc, mut pei) = setup();
+        let row_bytes = mc.dram().geometry().row_bytes;
+        // Two lines in the same row of bank 0 (row-interleaved: first
+        // row_bytes bytes are bank 0 row 0).
+        let a = PhysAddr(0);
+        let b = PhysAddr(64);
+        let first = pei.execute_memory_side(&mut mc, a, Cycles(0), 0).unwrap();
+        assert_eq!(first.kind, Some(RowBufferKind::Miss));
+        let second = pei
+            .execute_memory_side(&mut mc, b, first.completed_at, 0)
+            .unwrap();
+        assert_eq!(second.kind, Some(RowBufferKind::Hit));
+        // A line one full rotation later lands in bank 0, next row.
+        let c = PhysAddr(16 * row_bytes);
+        let third = pei
+            .execute_memory_side(&mut mc, c, second.completed_at, 0)
+            .unwrap();
+        assert_eq!(third.kind, Some(RowBufferKind::Conflict));
+        // The 74-cycle signal survives the PEI path.
+        assert_eq!(third.latency - second.latency, Cycles(74));
+    }
+
+    #[test]
+    fn pei_overhead_charged() {
+        let (mut mc, mut pei) = setup();
+        let out = pei
+            .execute_memory_side(&mut mc, PhysAddr(0), Cycles(0), 0)
+            .unwrap();
+        let bare = {
+            let cfg = SystemConfig::paper_table2();
+            let mut mc2 = MemoryController::from_config(&cfg);
+            mc2.access(PhysAddr(0), Cycles(0), 0).unwrap().latency
+        };
+        assert_eq!(out.latency, bare + Cycles(3 + 12));
+    }
+
+    #[test]
+    fn monitor_reset_forgets() {
+        let (mut mc, mut pei) = setup();
+        let addr = PhysAddr(0x40);
+        pei.execute(&mut mc, addr, Cycles(0), 0).unwrap();
+        pei.execute(&mut mc, addr, Cycles(1000), 0).unwrap();
+        pei.reset_monitor();
+        let out = pei.execute(&mut mc, addr, Cycles(2000), 0).unwrap();
+        assert_eq!(out.site, ExecSite::MemorySide);
+    }
+
+    #[test]
+    fn monitor_aliasing_evicts() {
+        let mut m = LocalityMonitor::new(1, 2);
+        assert!(!m.observe(1));
+        assert!(!m.observe(1));
+        assert!(m.observe(1));
+        // A different line aliases to the single slot and resets it.
+        assert!(!m.observe(2));
+        assert!(!m.observe(1));
+    }
+}

@@ -1,0 +1,44 @@
+//! Whole-system cycle-accounting simulator for the IMPACT reproduction.
+//!
+//! Plays the role of the paper's modified Sniper setup (§5.2.1): it stitches
+//! together the cache hierarchy, TLBs, memory controller, PEI engine and
+//! RowClone engine, emulates `rdtscp`/`cpuid` timing measurement, injects
+//! prefetcher/page-table-walker noise, and co-simulates multiple agents
+//! (sender/receiver/victim/attacker threads), each with its own clock,
+//! over shared DRAM state.
+//!
+//! # Co-simulation model
+//!
+//! Each [`AgentId`] owns a logical clock. Every operation an agent performs
+//! advances only that agent's clock; DRAM/cache state is shared. Agents
+//! synchronize through [`sync::CoSemaphore`] and [`sync::CoBarrier`], which
+//! transfer clock values the way real semaphores transfer control. A
+//! covert channel's elapsed time is the maximum agent clock at the end —
+//! identical accounting to wall-clock measurement inside a simulator.
+//!
+//! # Example
+//!
+//! ```
+//! use impact_core::config::SystemConfig;
+//! use impact_sim::System;
+//!
+//! let mut sys = System::new(SystemConfig::paper_table2_noiseless());
+//! let agent = sys.spawn_agent();
+//! let row = sys.alloc_row_in_bank(agent, 3)?;
+//! let first = sys.load(agent, row)?;      // cold: memory access
+//! let second = sys.load(agent, row)?;     // L1 hit
+//! assert!(second.latency < first.latency);
+//! # Ok::<(), impact_core::Error>(())
+//! ```
+
+pub mod memory;
+pub mod noise;
+pub mod sync;
+pub mod system;
+pub mod tlb;
+
+pub use memory::{FrameAllocator, PageTable};
+pub use noise::NoiseInjector;
+pub use sync::{CoBarrier, CoSemaphore};
+pub use system::{AgentId, LoadInfo, PimInfo, RowCloneInfo, SimParams, System};
+pub use tlb::Tlb;

@@ -1,0 +1,244 @@
+//! Per-process page tables and bank-aware physical frame allocation
+//! ("memory massaging").
+//!
+//! The attacks require co-locating sender and receiver data in the same
+//! DRAM banks; the paper does this with memory-massaging techniques
+//! (§4.1, citing DRAMA/RAMBleed-style primitives). Here massaging is a
+//! first-class allocator service:
+//!
+//! * [`FrameAllocator::alloc_row_in_bank`] — a whole DRAM row in a chosen
+//!   bank (the PnM covert channel's unit of allocation);
+//! * [`FrameAllocator::alloc_bank_stripe`] — a physically contiguous range
+//!   spanning every bank once per "rotation" (the PuM source/destination
+//!   range layout).
+
+use impact_core::addr::{PhysAddr, VirtAddr, PAGE_SIZE};
+use impact_core::config::DramGeometry;
+use impact_core::error::{Error, Result};
+use std::collections::HashMap;
+
+/// A per-process virtual→physical page table.
+#[derive(Debug, Default, Clone)]
+pub struct PageTable {
+    map: HashMap<u64, u64>, // vpn -> pfn
+    next_vpn: u64,
+}
+
+impl PageTable {
+    /// Creates an empty page table.
+    #[must_use]
+    pub fn new() -> PageTable {
+        PageTable {
+            map: HashMap::new(),
+            next_vpn: 0x100, // skip the null region
+        }
+    }
+
+    /// Maps `vpn` to `pfn`, replacing any prior mapping.
+    pub fn map_page(&mut self, vpn: u64, pfn: u64) {
+        self.map.insert(vpn, pfn);
+    }
+
+    /// Translates a virtual address.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::UnmappedVirtualAddress`] if the page is not mapped.
+    pub fn translate(&self, va: VirtAddr) -> Result<PhysAddr> {
+        let vpn = va.page_number();
+        let pfn = self
+            .map
+            .get(&vpn)
+            .ok_or(Error::UnmappedVirtualAddress { addr: va.0 })?;
+        Ok(PhysAddr(pfn * PAGE_SIZE + va.page_offset()))
+    }
+
+    /// Reserves `pages` consecutive virtual pages, returning the base VA.
+    pub fn reserve_vspace(&mut self, pages: u64) -> VirtAddr {
+        let base = self.next_vpn;
+        self.next_vpn += pages;
+        VirtAddr(base * PAGE_SIZE)
+    }
+
+    /// Number of mapped pages.
+    #[must_use]
+    pub fn mapped_pages(&self) -> usize {
+        self.map.len()
+    }
+}
+
+/// Bank-aware physical frame allocator over a row-interleaved device.
+///
+/// The physical address of (bank, row) is `(row * banks + bank) * row_bytes`
+/// (see [`impact_dram::RowInterleaved`]). Per-bank allocations hand out rows
+/// from the bottom of each bank; stripe allocations hand out whole
+/// rotations (one row in every bank) from the top half, so the two never
+/// collide.
+#[derive(Debug, Clone)]
+pub struct FrameAllocator {
+    geometry: DramGeometry,
+    next_row_in_bank: Vec<u64>,
+    next_stripe_row: u64,
+}
+
+impl FrameAllocator {
+    /// Creates an allocator for the device geometry.
+    #[must_use]
+    pub fn new(geometry: DramGeometry) -> FrameAllocator {
+        let banks = geometry.total_banks() as usize;
+        FrameAllocator {
+            geometry,
+            next_row_in_bank: vec![0; banks],
+            next_stripe_row: geometry.rows_per_bank / 2,
+        }
+    }
+
+    /// Pages per DRAM row.
+    #[must_use]
+    pub fn pages_per_row(&self) -> u64 {
+        (self.geometry.row_bytes / PAGE_SIZE).max(1)
+    }
+
+    /// Allocates one fresh row in `bank`, returning its physical base.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::MassagingFailed`] when the bank's private region is
+    /// exhausted.
+    pub fn alloc_row_in_bank(&mut self, bank: usize) -> Result<PhysAddr> {
+        let banks = u64::from(self.geometry.total_banks());
+        if bank as u64 >= banks {
+            return Err(Error::MassagingFailed(format!(
+                "bank {bank} out of range ({banks} banks)"
+            )));
+        }
+        let row = self.next_row_in_bank[bank];
+        if row >= self.geometry.rows_per_bank / 2 {
+            return Err(Error::MassagingFailed(format!(
+                "bank {bank} private region exhausted"
+            )));
+        }
+        self.next_row_in_bank[bank] = row + 1;
+        Ok(PhysAddr(
+            (row * banks + bank as u64) * self.geometry.row_bytes,
+        ))
+    }
+
+    /// Allocates `rotations` physically contiguous rotations (each rotation
+    /// is one row in every bank, in flat-bank order), returning the base
+    /// physical address. This is the layout IMPACT-PuM uses for its
+    /// source/destination ranges: chunk `i` of a rotation lands in bank `i`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::MassagingFailed`] when the stripe region is
+    /// exhausted.
+    pub fn alloc_bank_stripe(&mut self, rotations: u64) -> Result<PhysAddr> {
+        let base_row = self.next_stripe_row;
+        if base_row + rotations > self.geometry.rows_per_bank {
+            return Err(Error::MassagingFailed("stripe region exhausted".into()));
+        }
+        self.next_stripe_row += rotations;
+        let banks = u64::from(self.geometry.total_banks());
+        Ok(PhysAddr(base_row * banks * self.geometry.row_bytes))
+    }
+
+    /// Geometry served by this allocator.
+    #[must_use]
+    pub fn geometry(&self) -> &DramGeometry {
+        &self.geometry
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use impact_dram::{AddressMapping, RowInterleaved};
+
+    fn geo() -> DramGeometry {
+        DramGeometry::paper_table2()
+    }
+
+    #[test]
+    fn page_table_translate() {
+        let mut pt = PageTable::new();
+        pt.map_page(5, 42);
+        let pa = pt.translate(VirtAddr(5 * PAGE_SIZE + 123)).unwrap();
+        assert_eq!(pa, PhysAddr(42 * PAGE_SIZE + 123));
+        assert!(pt.translate(VirtAddr(0)).is_err());
+    }
+
+    #[test]
+    fn reserve_vspace_is_disjoint() {
+        let mut pt = PageTable::new();
+        let a = pt.reserve_vspace(4);
+        let b = pt.reserve_vspace(4);
+        assert_eq!(b.0 - a.0, 4 * PAGE_SIZE);
+    }
+
+    #[test]
+    fn rows_land_in_requested_bank() {
+        let mut fa = FrameAllocator::new(geo());
+        let mapping = RowInterleaved::new(geo());
+        for bank in 0..16usize {
+            for _ in 0..4 {
+                let pa = fa.alloc_row_in_bank(bank).unwrap();
+                assert_eq!(mapping.flat_bank(pa), bank);
+                assert_eq!(pa.0 % geo().row_bytes, 0);
+            }
+        }
+    }
+
+    #[test]
+    fn rows_in_same_bank_are_distinct() {
+        let mut fa = FrameAllocator::new(geo());
+        let mapping = RowInterleaved::new(geo());
+        let a = fa.alloc_row_in_bank(3).unwrap();
+        let b = fa.alloc_row_in_bank(3).unwrap();
+        assert_ne!(mapping.map(a).row, mapping.map(b).row);
+    }
+
+    #[test]
+    fn stripe_spans_every_bank_in_order() {
+        let mut fa = FrameAllocator::new(geo());
+        let mapping = RowInterleaved::new(geo());
+        let base = fa.alloc_bank_stripe(2).unwrap();
+        for i in 0..32u64 {
+            let pa = PhysAddr(base.0 + i * geo().row_bytes);
+            assert_eq!(mapping.flat_bank(pa), (i % 16) as usize);
+        }
+    }
+
+    #[test]
+    fn stripe_and_bank_regions_disjoint() {
+        let mut fa = FrameAllocator::new(geo());
+        let mapping = RowInterleaved::new(geo());
+        let stripe = fa.alloc_bank_stripe(1).unwrap();
+        let row = fa.alloc_row_in_bank(0).unwrap();
+        assert_ne!(mapping.map(stripe).row, mapping.map(row).row);
+    }
+
+    #[test]
+    fn exhaustion_errors() {
+        let mut small = geo();
+        small.rows_per_bank = 4;
+        let mut fa = FrameAllocator::new(small);
+        fa.alloc_row_in_bank(0).unwrap();
+        fa.alloc_row_in_bank(0).unwrap();
+        assert!(matches!(
+            fa.alloc_row_in_bank(0),
+            Err(Error::MassagingFailed(_))
+        ));
+        fa.alloc_bank_stripe(2).unwrap();
+        assert!(matches!(
+            fa.alloc_bank_stripe(1),
+            Err(Error::MassagingFailed(_))
+        ));
+    }
+
+    #[test]
+    fn pages_per_row_for_paper_geometry() {
+        let fa = FrameAllocator::new(geo());
+        assert_eq!(fa.pages_per_row(), 2); // 8 KiB rows, 4 KiB pages
+    }
+}

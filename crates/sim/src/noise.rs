@@ -1,0 +1,137 @@
+//! Noise injection: prefetchers and page-table walkers (§5.2.3).
+//!
+//! The paper simulates hardware prefetchers and page-table walkers to
+//! induce noise and measures attack throughput only over successfully
+//! leaked bits. The injector perturbs DRAM row-buffer state by activating
+//! unrelated rows with configurable probabilities.
+
+use impact_core::config::NoiseConfig;
+use impact_core::rng::SimRng;
+use impact_core::time::Cycles;
+use impact_memctrl::MemoryController;
+
+/// Actor id used for noise-generated accesses.
+pub const NOISE_ACTOR: u32 = u32::MAX - 1;
+
+/// Stochastic row-activation noise source.
+#[derive(Debug, Clone)]
+pub struct NoiseInjector {
+    cfg: NoiseConfig,
+    rng: SimRng,
+    events: u64,
+}
+
+impl NoiseInjector {
+    /// Creates an injector with the given configuration.
+    #[must_use]
+    pub fn new(cfg: NoiseConfig) -> NoiseInjector {
+        NoiseInjector {
+            rng: SimRng::seed(cfg.seed),
+            cfg,
+            events: 0,
+        }
+    }
+
+    /// Possibly injects noise accesses after a demand operation at `now`.
+    ///
+    /// With probability `prefetcher_rate` a random row in a random bank is
+    /// activated (stream prefetch trained on an unrelated application);
+    /// with probability `ptw_rate` a page-table-walk access does the same.
+    /// Injected accesses never fail: they target bank-local rows directly.
+    pub fn perturb(&mut self, mc: &mut MemoryController, now: Cycles) {
+        let total_rate = self.cfg.prefetcher_rate + self.cfg.ptw_rate;
+        if total_rate <= 0.0 {
+            return;
+        }
+        if self.rng.chance(self.cfg.prefetcher_rate) {
+            self.activate_random_row(mc, now);
+        }
+        if self.rng.chance(self.cfg.ptw_rate) {
+            self.activate_random_row(mc, now);
+        }
+    }
+
+    fn activate_random_row(&mut self, mc: &mut MemoryController, now: Cycles) {
+        let banks = mc.dram().num_banks() as u64;
+        let rows = mc.dram().geometry().rows_per_bank;
+        let bank = self.rng.below(banks) as usize;
+        let row = self.rng.below(rows);
+        mc.dram_mut().access_as(bank, row, now, NOISE_ACTOR);
+        self.events += 1;
+    }
+
+    /// Number of noise accesses injected so far.
+    #[must_use]
+    pub fn events(&self) -> u64 {
+        self.events
+    }
+
+    /// The configured rates.
+    #[must_use]
+    pub fn config(&self) -> &NoiseConfig {
+        &self.cfg
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use impact_core::config::SystemConfig;
+
+    #[test]
+    fn zero_rate_injects_nothing() {
+        let cfg = SystemConfig::paper_table2();
+        let mut mc = MemoryController::from_config(&cfg);
+        let mut n = NoiseInjector::new(NoiseConfig::none());
+        for i in 0..1000 {
+            n.perturb(&mut mc, Cycles(i));
+        }
+        assert_eq!(n.events(), 0);
+        assert_eq!(mc.dram().total_stats().total_accesses(), 0);
+    }
+
+    #[test]
+    fn noise_rate_roughly_matches() {
+        let cfg = SystemConfig::paper_table2();
+        let mut mc = MemoryController::from_config(&cfg);
+        let noise_cfg = NoiseConfig {
+            prefetcher_rate: 0.1,
+            ptw_rate: 0.0,
+            seed: 1,
+        };
+        let mut n = NoiseInjector::new(noise_cfg);
+        for i in 0..10_000 {
+            n.perturb(&mut mc, Cycles(i));
+        }
+        let e = n.events();
+        assert!((700..=1300).contains(&e), "events = {e}");
+    }
+
+    #[test]
+    fn noise_is_deterministic() {
+        let cfg = SystemConfig::paper_table2();
+        let run = || {
+            let mut mc = MemoryController::from_config(&cfg);
+            let mut n = NoiseInjector::new(NoiseConfig::paper_default());
+            for i in 0..5000 {
+                n.perturb(&mut mc, Cycles(i));
+            }
+            (n.events(), mc.dram().total_stats().activations)
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn noise_touches_dram_state() {
+        let cfg = SystemConfig::paper_table2();
+        let mut mc = MemoryController::from_config(&cfg);
+        let mut n = NoiseInjector::new(NoiseConfig {
+            prefetcher_rate: 1.0,
+            ptw_rate: 0.0,
+            seed: 2,
+        });
+        n.perturb(&mut mc, Cycles(0));
+        assert_eq!(n.events(), 1);
+        assert_eq!(mc.dram().total_stats().activations, 1);
+    }
+}

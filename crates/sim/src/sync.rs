@@ -1,0 +1,159 @@
+//! Co-simulation synchronization primitives.
+//!
+//! The paper's sender and receiver synchronize with a semaphore (§4.1) and
+//! barriers (§4.2). In co-simulation, synchronization transfers *time*: a
+//! waiting agent's clock jumps forward to the poster's clock, exactly as a
+//! blocked thread resumes when signalled.
+
+use std::collections::VecDeque;
+
+use impact_core::time::Cycles;
+
+use crate::system::{AgentId, System};
+
+/// A counting semaphore between co-simulated agents.
+///
+/// `post` records the poster's clock; `wait` consumes the earliest post and
+/// advances the waiter to at least that time. Both charge a fixed
+/// user-space synchronization overhead.
+#[derive(Debug, Clone)]
+pub struct CoSemaphore {
+    posts: VecDeque<Cycles>,
+    overhead: Cycles,
+}
+
+impl CoSemaphore {
+    /// Creates a semaphore with the given per-operation overhead.
+    #[must_use]
+    pub fn new(overhead: Cycles) -> CoSemaphore {
+        CoSemaphore {
+            posts: VecDeque::new(),
+            overhead,
+        }
+    }
+
+    /// Semaphore value (pending posts).
+    #[must_use]
+    pub fn value(&self) -> usize {
+        self.posts.len()
+    }
+
+    /// Posts (increments) the semaphore from `agent`.
+    pub fn post(&mut self, sys: &mut System, agent: AgentId) {
+        sys.advance(agent, self.overhead);
+        self.posts.push_back(sys.now(agent));
+    }
+
+    /// Waits on (decrements) the semaphore from `agent`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no post is pending: in deterministic co-simulation the
+    /// driver must schedule the poster before the waiter, so an empty wait
+    /// is a harness bug (a real thread would deadlock here).
+    pub fn wait(&mut self, sys: &mut System, agent: AgentId) {
+        let t = self
+            .posts
+            .pop_front()
+            .expect("co-simulation deadlock: wait() with no pending post");
+        let now = sys.now(agent);
+        sys.set_now(agent, now.max(t));
+        sys.advance(agent, self.overhead);
+    }
+}
+
+/// A barrier between co-simulated agents: all clocks advance to the
+/// maximum, plus the synchronization overhead.
+#[derive(Debug, Clone, Copy)]
+pub struct CoBarrier {
+    overhead: Cycles,
+}
+
+impl CoBarrier {
+    /// Creates a barrier with the given overhead.
+    #[must_use]
+    pub fn new(overhead: Cycles) -> CoBarrier {
+        CoBarrier { overhead }
+    }
+
+    /// Synchronizes all `agents` at the barrier.
+    pub fn sync(&self, sys: &mut System, agents: &[AgentId]) {
+        let latest = agents
+            .iter()
+            .map(|&a| sys.now(a))
+            .max()
+            .unwrap_or(Cycles::ZERO);
+        for &a in agents {
+            sys.set_now(a, latest);
+            sys.advance(a, self.overhead);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use impact_core::config::SystemConfig;
+
+    fn sys() -> System {
+        System::new(SystemConfig::paper_table2_noiseless())
+    }
+
+    #[test]
+    fn semaphore_transfers_time_forward() {
+        let mut s = sys();
+        let a = s.spawn_agent();
+        let b = s.spawn_agent();
+        let mut sem = CoSemaphore::new(Cycles(10));
+        s.advance(a, Cycles(1000));
+        sem.post(&mut s, a);
+        sem.wait(&mut s, b);
+        // b waited for a's post at t=1010, plus its own overhead.
+        assert_eq!(s.now(b), Cycles(1020));
+    }
+
+    #[test]
+    fn semaphore_does_not_rewind() {
+        let mut s = sys();
+        let a = s.spawn_agent();
+        let b = s.spawn_agent();
+        let mut sem = CoSemaphore::new(Cycles(0));
+        sem.post(&mut s, a); // post at ~0
+        s.advance(b, Cycles(5000));
+        sem.wait(&mut s, b);
+        assert_eq!(s.now(b), Cycles(5000));
+    }
+
+    #[test]
+    fn semaphore_counts_posts() {
+        let mut s = sys();
+        let a = s.spawn_agent();
+        let mut sem = CoSemaphore::new(Cycles(0));
+        sem.post(&mut s, a);
+        sem.post(&mut s, a);
+        assert_eq!(sem.value(), 2);
+        sem.wait(&mut s, a);
+        assert_eq!(sem.value(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "deadlock")]
+    fn empty_wait_panics() {
+        let mut s = sys();
+        let a = s.spawn_agent();
+        let mut sem = CoSemaphore::new(Cycles(0));
+        sem.wait(&mut s, a);
+    }
+
+    #[test]
+    fn barrier_aligns_clocks() {
+        let mut s = sys();
+        let a = s.spawn_agent();
+        let b = s.spawn_agent();
+        s.advance(a, Cycles(300));
+        s.advance(b, Cycles(700));
+        CoBarrier::new(Cycles(5)).sync(&mut s, &[a, b]);
+        assert_eq!(s.now(a), Cycles(705));
+        assert_eq!(s.now(b), Cycles(705));
+    }
+}

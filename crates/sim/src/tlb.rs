@@ -1,0 +1,243 @@
+//! Two-level TLB with page-table-walk accounting (Table 2 MMU row).
+
+use impact_core::config::TlbConfig;
+use impact_core::time::Cycles;
+
+/// Result of a TLB lookup.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TlbLookup {
+    /// Translation latency (L1 hit, L2 hit, or full walk).
+    pub latency: Cycles,
+    /// Whether a page-table walk was required.
+    pub walked: bool,
+}
+
+/// A simple LRU TLB level over virtual page numbers.
+#[derive(Debug, Clone)]
+struct TlbLevel {
+    entries: Vec<u64>,
+    capacity: usize,
+}
+
+impl TlbLevel {
+    fn new(capacity: u32) -> TlbLevel {
+        TlbLevel {
+            entries: Vec::new(),
+            capacity: capacity.max(1) as usize,
+        }
+    }
+
+    /// Returns true on hit; promotes the entry to MRU.
+    fn lookup(&mut self, vpn: u64) -> bool {
+        if let Some(pos) = self.entries.iter().position(|&e| e == vpn) {
+            let e = self.entries.remove(pos);
+            self.entries.push(e);
+            true
+        } else {
+            false
+        }
+    }
+
+    fn insert(&mut self, vpn: u64) {
+        if let Some(pos) = self.entries.iter().position(|&e| e == vpn) {
+            self.entries.remove(pos);
+        } else if self.entries.len() == self.capacity {
+            self.entries.remove(0);
+        }
+        self.entries.push(vpn);
+    }
+}
+
+/// The two-level data TLB: a 64-entry L1 and a 1536-entry L2 with a
+/// 120-cycle page-table walk on a full miss.
+///
+/// # Example
+///
+/// ```
+/// use impact_core::config::TlbConfig;
+/// use impact_sim::Tlb;
+///
+/// let mut tlb = Tlb::new(TlbConfig::paper_table2());
+/// let miss = tlb.translate(42);
+/// assert!(miss.walked);
+/// let hit = tlb.translate(42);
+/// assert!(!hit.walked);
+/// assert!(hit.latency < miss.latency);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Tlb {
+    cfg: TlbConfig,
+    l1: TlbLevel,
+    l2: TlbLevel,
+    walks: u64,
+}
+
+impl Tlb {
+    /// Creates an empty TLB.
+    #[must_use]
+    pub fn new(cfg: TlbConfig) -> Tlb {
+        Tlb {
+            l1: TlbLevel::new(cfg.l1_entries),
+            l2: TlbLevel::new(cfg.l2_entries),
+            cfg,
+            walks: 0,
+        }
+    }
+
+    /// Translates a virtual page number, updating TLB state.
+    pub fn translate(&mut self, vpn: u64) -> TlbLookup {
+        let l1_lat = Cycles(self.cfg.l1_latency_cycles);
+        if self.l1.lookup(vpn) {
+            return TlbLookup {
+                latency: l1_lat,
+                walked: false,
+            };
+        }
+        let l2_lat = l1_lat + Cycles(self.cfg.l2_latency_cycles);
+        if self.l2.lookup(vpn) {
+            self.l1.insert(vpn);
+            return TlbLookup {
+                latency: l2_lat,
+                walked: false,
+            };
+        }
+        self.walks += 1;
+        self.l1.insert(vpn);
+        self.l2.insert(vpn);
+        TlbLookup {
+            latency: l2_lat + Cycles(self.cfg.walk_latency_cycles),
+            walked: true,
+        }
+    }
+
+    /// Number of page-table walks performed.
+    #[must_use]
+    pub fn walk_count(&self) -> u64 {
+        self.walks
+    }
+
+    /// Pre-populates both levels with `vpn` (used by the warm-up phase the
+    /// paper performs before launching attacks, §5.2.1).
+    pub fn warm(&mut self, vpn: u64) {
+        self.l1.insert(vpn);
+        self.l2.insert(vpn);
+    }
+
+    /// Clears all translations.
+    pub fn reset(&mut self) {
+        self.l1.entries.clear();
+        self.l2.entries.clear();
+        self.walks = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tlb() -> Tlb {
+        Tlb::new(TlbConfig::paper_table2())
+    }
+
+    #[test]
+    fn miss_walk_then_hits() {
+        let mut t = tlb();
+        let m = t.translate(7);
+        assert!(m.walked);
+        assert_eq!(m.latency, Cycles(1 + 12 + 120));
+        let h1 = t.translate(7);
+        assert_eq!(h1.latency, Cycles(1));
+        assert_eq!(t.walk_count(), 1);
+    }
+
+    #[test]
+    fn l2_catches_l1_evictions() {
+        let mut t = tlb();
+        t.translate(0);
+        // Evict vpn 0 from the 64-entry L1 with 64 fresh translations.
+        for vpn in 1..=64 {
+            t.translate(vpn);
+        }
+        let l2_hit = t.translate(0);
+        assert!(!l2_hit.walked);
+        assert_eq!(l2_hit.latency, Cycles(13));
+    }
+
+    #[test]
+    fn warm_prevents_walks() {
+        let mut t = tlb();
+        t.warm(9);
+        let h = t.translate(9);
+        assert!(!h.walked);
+        assert_eq!(t.walk_count(), 0);
+    }
+
+    #[test]
+    fn capacity_bounded() {
+        let mut t = tlb();
+        for vpn in 0..5000 {
+            t.translate(vpn);
+        }
+        // Far-past entries must have been evicted from both levels.
+        let again = t.translate(0);
+        assert!(again.walked);
+    }
+
+    #[test]
+    fn reset_clears() {
+        let mut t = tlb();
+        t.translate(3);
+        t.reset();
+        assert!(t.translate(3).walked);
+        assert_eq!(t.walk_count(), 1);
+    }
+
+    #[test]
+    fn lru_promotion_in_l1() {
+        let mut t = tlb();
+        t.translate(100);
+        for vpn in 0..63 {
+            t.translate(vpn);
+        }
+        // Re-touch 100 to promote it, then add one more translation.
+        t.translate(100);
+        t.translate(999);
+        // 100 must still be an L1 hit (it was MRU, vpn 0 was evicted).
+        assert_eq!(t.translate(100).latency, Cycles(1));
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use impact_core::config::TlbConfig;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Translating the same page twice in a row never walks the second
+        /// time, for any interleaving prefix.
+        #[test]
+        fn immediate_retranslation_hits(vpns in prop::collection::vec(0u64..5000, 1..100)) {
+            let mut t = Tlb::new(TlbConfig::paper_table2());
+            for vpn in vpns {
+                t.translate(vpn);
+                let again = t.translate(vpn);
+                prop_assert!(!again.walked, "vpn {vpn} walked twice in a row");
+            }
+        }
+
+        /// Walk count only ever increases and is bounded by translations.
+        #[test]
+        fn walk_count_bounded(vpns in prop::collection::vec(0u64..100, 1..200)) {
+            let mut t = Tlb::new(TlbConfig::paper_table2());
+            let n = vpns.len() as u64;
+            let mut last = 0;
+            for vpn in vpns {
+                t.translate(vpn);
+                prop_assert!(t.walk_count() >= last);
+                last = t.walk_count();
+            }
+            prop_assert!(t.walk_count() <= n);
+        }
+    }
+}

@@ -1,0 +1,144 @@
+//! Property-based tests (proptest) on core invariants across the
+//! workspace: DRAM bank state machine, address mappings, caches, the
+//! covert channel, and the genomics pipeline.
+
+use proptest::prelude::*;
+
+use impact::attacks::PnmCovertChannel;
+use impact::cache::SetAssocCache;
+use impact::core::addr::PhysAddr;
+use impact::core::config::{
+    CacheLevelConfig, DramGeometry, DramTiming, ReplacementKind, SystemConfig,
+};
+use impact::core::time::{Clock, Cycles};
+use impact::dram::{AddressMapping, Bank, ResolvedTiming, RowInterleaved, RowPolicy};
+use impact::genomics::align::{banded_align, AlignParams};
+use impact::genomics::chain::{chain_anchors, Anchor};
+use impact::sim::System;
+
+fn timing() -> ResolvedTiming {
+    ResolvedTiming::resolve(&DramTiming::paper_table2(), Clock::paper_default())
+}
+
+proptest! {
+    /// Any access sequence keeps bank latencies within [hit, conflict] and
+    /// classifications consistent with the returned latency.
+    #[test]
+    fn bank_latency_bounds(rows in prop::collection::vec(0u64..32, 1..200)) {
+        let t = timing();
+        let policy = RowPolicy::open_page();
+        let mut bank = Bank::new();
+        let mut now = Cycles(0);
+        for row in rows {
+            let out = bank.access(row, now, 0, &t, policy);
+            prop_assert!(out.latency >= t.hit_latency());
+            prop_assert!(out.latency <= t.conflict_latency());
+            prop_assert!(out.completed_at >= now);
+            now = out.completed_at;
+        }
+    }
+
+    /// Consecutive accesses to the same row always hit under open-page.
+    #[test]
+    fn same_row_rehit(row in 0u64..1000, repeats in 2usize..20) {
+        let t = timing();
+        let policy = RowPolicy::open_page();
+        let mut bank = Bank::new();
+        let mut now = Cycles(0);
+        let first = bank.access(row, now, 0, &t, policy);
+        now = first.completed_at;
+        for _ in 1..repeats {
+            let out = bank.access(row, now, 0, &t, policy);
+            prop_assert_eq!(out.kind, impact::dram::RowBufferKind::Hit);
+            now = out.completed_at;
+        }
+    }
+
+    /// The row-interleaved mapping roundtrips for every (bank, row, col).
+    #[test]
+    fn mapping_roundtrip(bank in 0usize..16, row in 0u64..65536, col in 0u32..8192) {
+        let m = RowInterleaved::new(DramGeometry::paper_table2());
+        let addr = m.compose(bank, row, col);
+        let coord = m.map(addr);
+        prop_assert_eq!(m.flat_bank(addr), bank);
+        prop_assert_eq!(coord.row, row);
+        prop_assert_eq!(coord.column, col);
+    }
+
+    /// Distinct addresses map to distinct (bank, row, column) coordinates.
+    #[test]
+    fn mapping_is_injective(a in 0u64..(1<<30), b in 0u64..(1<<30)) {
+        prop_assume!(a != b);
+        let m = RowInterleaved::new(DramGeometry::paper_table2());
+        let ca = m.map(PhysAddr(a));
+        let cb = m.map(PhysAddr(b));
+        prop_assert!(ca != cb);
+    }
+
+    /// A cache never reports a hit for a line it has not seen, and always
+    /// hits directly after a fill (no spurious evictions of the just-
+    /// inserted line).
+    #[test]
+    fn cache_fill_then_hit(addrs in prop::collection::vec(0u64..(1<<20), 1..100)) {
+        let cfg = CacheLevelConfig {
+            size_bytes: 16 * 1024,
+            ways: 4,
+            line_bytes: 64,
+            latency_cycles: 4,
+            replacement: ReplacementKind::Lru,
+        };
+        let mut c = SetAssocCache::new(cfg);
+        for a in addrs {
+            let a = PhysAddr(a).line_aligned();
+            c.access(a, false);
+            prop_assert!(c.probe(a), "line {a} missing right after fill");
+        }
+    }
+
+    /// Alignment score is bounded by match_score * min(len) and symmetric.
+    #[test]
+    fn alignment_bounds(
+        a in prop::collection::vec(0u8..4, 0..64),
+        b in prop::collection::vec(0u8..4, 0..64),
+    ) {
+        let p = AlignParams::default();
+        let fwd = banded_align(&a, &b, p);
+        let rev = banded_align(&b, &a, p);
+        prop_assert_eq!(fwd.score, rev.score, "asymmetric score");
+        let bound = (a.len().min(b.len()) as i32) * p.match_score;
+        prop_assert!(fwd.score <= bound);
+        prop_assert!(i64::from(fwd.matches) <= a.len().min(b.len()) as i64);
+    }
+
+    /// Chains are strictly increasing in both read and reference
+    /// coordinates.
+    #[test]
+    fn chains_are_colinear(
+        anchors in prop::collection::vec((0u32..500, 0u32..500), 0..40)
+    ) {
+        let anchors: Vec<Anchor> = anchors
+            .into_iter()
+            .map(|(read_pos, ref_pos)| Anchor { read_pos, ref_pos })
+            .collect();
+        let chain = chain_anchors(&anchors, 10, 1);
+        for pair in chain.anchors.windows(2) {
+            let x = anchors[pair[0]];
+            let y = anchors[pair[1]];
+            prop_assert!(x.read_pos < y.read_pos, "read order violated");
+            prop_assert!(x.ref_pos < y.ref_pos, "ref order violated");
+        }
+    }
+
+    /// Any message is transmitted exactly on the noiseless system,
+    /// regardless of content or length.
+    #[test]
+    fn pnm_channel_is_exact_for_any_message(
+        message in prop::collection::vec(any::<bool>(), 1..200)
+    ) {
+        let mut sys = System::new(SystemConfig::paper_table2_noiseless());
+        let mut ch = PnmCovertChannel::setup(&mut sys, 8).unwrap();
+        let r = ch.transmit(&mut sys, &message).unwrap();
+        prop_assert_eq!(r.bit_errors, 0);
+        prop_assert_eq!(r.bits_sent, message.len() as u64);
+    }
+}
