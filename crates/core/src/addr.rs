@@ -6,8 +6,6 @@
 use core::fmt;
 use core::ops::Add;
 
-use serde::{Deserialize, Serialize};
-
 /// Size of a small page in bytes.
 pub const PAGE_SIZE: u64 = 4096;
 /// Size of a cache line in bytes.
@@ -23,9 +21,7 @@ pub const LINE_SIZE: u64 = 64;
 /// let a = PhysAddr(0x1234);
 /// assert_eq!(a.line_aligned().0 % LINE_SIZE, 0);
 /// ```
-#[derive(
-    Debug, Default, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct PhysAddr(pub u64);
 
 impl PhysAddr {
@@ -84,9 +80,7 @@ impl Add<u64> for PhysAddr {
 /// assert_eq!(v.page_number(), 3);
 /// assert_eq!(v.page_offset(), 17);
 /// ```
-#[derive(
-    Debug, Default, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct VirtAddr(pub u64);
 
 impl VirtAddr {
@@ -124,9 +118,7 @@ impl Add<u64> for VirtAddr {
 
 /// Coordinates of a location inside the DRAM device hierarchy (Fig. 1 of the
 /// paper): channel → rank → bank group → bank → row → column.
-#[derive(
-    Debug, Default, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct DramCoord {
     /// Channel index.
     pub channel: u32,

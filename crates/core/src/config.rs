@@ -5,12 +5,10 @@
 //! hierarchy, a two-level TLB and a DDR4-2400 main memory with 16 banks in
 //! 4 bank groups, 8 KiB rows, an open-row policy and a 100 ns row timeout.
 
-use serde::{Deserialize, Serialize};
-
 use crate::time::Clock;
 
 /// DRAM geometry (Fig. 1 of the paper).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct DramGeometry {
     /// Number of memory channels.
     pub channels: u32,
@@ -87,7 +85,7 @@ impl Default for DramGeometry {
 }
 
 /// DRAM timing parameters in nanoseconds (Table 2: DDR4-2400).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct DramTiming {
     /// Activate-to-read delay (row activation latency).
     pub t_rcd_ns: f64,
@@ -132,7 +130,7 @@ impl Default for DramTiming {
 }
 
 /// Cache replacement policy selector.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum ReplacementKind {
     /// Least-recently-used.
     Lru,
@@ -142,7 +140,7 @@ pub enum ReplacementKind {
 }
 
 /// Configuration of one cache level.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CacheLevelConfig {
     /// Capacity in bytes.
     pub size_bytes: u64,
@@ -172,7 +170,7 @@ impl CacheLevelConfig {
 }
 
 /// Two-level TLB configuration (Table 2 MMU row).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TlbConfig {
     /// L1 DTLB entries (4 KiB pages).
     pub l1_entries: u32,
@@ -208,7 +206,7 @@ impl Default for TlbConfig {
 }
 
 /// PiM-related configuration.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct PimConfig {
     /// Additional latency of a PiM-enabled instruction (access to PEI
     /// system structures); the paper models 3 cycles (§5.2.1, ref. \[67\]).
@@ -245,7 +243,7 @@ impl Default for PimConfig {
 
 /// Noise-source configuration (§5.2.3: hardware prefetchers and page-table
 /// walkers are simulated to induce noise).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct NoiseConfig {
     /// Probability that a memory operation triggers a prefetcher-issued
     /// activation of an unrelated row in the same bank.
@@ -286,7 +284,7 @@ impl Default for NoiseConfig {
 }
 
 /// Full simulated system configuration (Table 2).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SystemConfig {
     /// CPU clock (2.6 GHz).
     pub clock: Clock,

@@ -5,13 +5,12 @@
 //! seeded explicitly, so every experiment in EXPERIMENTS.md reproduces
 //! bit-for-bit.
 
-use rand::{Rng, RngCore, SeedableRng};
-use rand_chacha::ChaCha12Rng;
-
 /// A seedable, deterministic RNG used throughout the simulator.
 ///
-/// Wraps `ChaCha12Rng` so that the choice of generator is encapsulated and
-/// can change without touching call sites.
+/// Implements xoshiro256** seeded through splitmix64, entirely
+/// self-contained so the workspace builds without network access. The
+/// generator choice is encapsulated and can change without touching call
+/// sites.
 ///
 /// # Example
 ///
@@ -24,34 +23,60 @@ use rand_chacha::ChaCha12Rng;
 /// ```
 #[derive(Debug, Clone)]
 pub struct SimRng {
-    inner: ChaCha12Rng,
+    state: [u64; 4],
+}
+
+/// splitmix64 step: advances `x` and returns a well-mixed output word.
+fn splitmix64(x: &mut u64) -> u64 {
+    *x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
 }
 
 impl SimRng {
     /// Creates an RNG from a 64-bit seed.
     #[must_use]
     pub fn seed(seed: u64) -> SimRng {
+        let mut x = seed;
         SimRng {
-            inner: ChaCha12Rng::seed_from_u64(seed),
+            state: [
+                splitmix64(&mut x),
+                splitmix64(&mut x),
+                splitmix64(&mut x),
+                splitmix64(&mut x),
+            ],
         }
     }
 
     /// Derives an independent child RNG for a named subsystem.
     ///
     /// Ensures subsystems never share a stream even when built from the same
-    /// master seed.
+    /// master seed. Purely a function of the current state and `stream`, so
+    /// repeated derivations with the same stream id are identical.
     #[must_use]
     pub fn derive(&self, stream: u64) -> SimRng {
-        let mut child = self.clone();
-        child.inner.set_stream(stream);
-        SimRng {
-            inner: ChaCha12Rng::seed_from_u64(child.inner.next_u64()),
+        let mut x = stream ^ 0x6a09_e667_f3bc_c909;
+        let mut child_seed = 0;
+        for &word in &self.state {
+            x ^= word;
+            child_seed = splitmix64(&mut x);
         }
+        SimRng::seed(child_seed)
     }
 
-    /// Next raw 64-bit value.
+    /// Next raw 64-bit value (xoshiro256**).
     pub fn next_u64(&mut self) -> u64 {
-        self.inner.next_u64()
+        let result = self.state[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = self.state[1] << 17;
+        self.state[2] ^= self.state[0];
+        self.state[3] ^= self.state[1];
+        self.state[1] ^= self.state[2];
+        self.state[0] ^= self.state[3];
+        self.state[2] ^= t;
+        self.state[3] = self.state[3].rotate_left(45);
+        result
     }
 
     /// Uniform value in `[0, bound)`.
@@ -61,12 +86,15 @@ impl SimRng {
     /// Panics if `bound == 0`.
     pub fn below(&mut self, bound: u64) -> u64 {
         assert!(bound > 0, "bound must be positive");
-        self.inner.gen_range(0..bound)
+        // Lemire's widening-multiply reduction: unbiased enough for
+        // simulation purposes, no modulo in the hot path.
+        ((u128::from(self.next_u64()) * u128::from(bound)) >> 64) as u64
     }
 
     /// Uniform float in `[0, 1)`.
     pub fn unit(&mut self) -> f64 {
-        self.inner.gen::<f64>()
+        // 53 random mantissa bits → uniform double in [0, 1).
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
     }
 
     /// Bernoulli trial with probability `p` (clamped to `[0, 1]`).
@@ -76,13 +104,13 @@ impl SimRng {
         } else if p >= 1.0 {
             true
         } else {
-            self.inner.gen_bool(p)
+            self.unit() < p
         }
     }
 
     /// Random boolean.
     pub fn flip(&mut self) -> bool {
-        self.inner.gen()
+        self.next_u64() >> 63 == 1
     }
 
     /// Generates `n` random message bits.
@@ -97,11 +125,6 @@ impl SimRng {
             let j = self.below(i as u64 + 1) as usize;
             slice.swap(i, j);
         }
-    }
-
-    /// Access to the underlying `rand::Rng` for distribution sampling.
-    pub fn as_rng(&mut self) -> &mut impl Rng {
-        &mut self.inner
     }
 }
 

@@ -2,8 +2,6 @@
 
 use core::fmt;
 
-use serde::{Deserialize, Serialize};
-
 /// A monotonically increasing event counter.
 ///
 /// # Example
@@ -16,7 +14,7 @@ use serde::{Deserialize, Serialize};
 /// hits.add(2);
 /// assert_eq!(hits.get(), 3);
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Counter {
     name: String,
     value: u64,
@@ -82,7 +80,7 @@ impl fmt::Display for Counter {
 /// assert_eq!(s.min(), 10.0);
 /// assert_eq!(s.max(), 30.0);
 /// ```
-#[derive(Debug, Default, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Default, Clone, PartialEq)]
 pub struct Summary {
     count: u64,
     sum: f64,

@@ -63,6 +63,42 @@ fn workload_replay_is_deterministic() {
     assert_eq!(run(), run());
 }
 
+/// Unit-level smoke test under the expectations above: two systems built
+/// from the same config, driven by the same seeded `SimRng` request
+/// stream, accumulate bit-identical statistics.
+#[test]
+fn same_seed_systems_accumulate_identical_stats() {
+    let run = |seed: u64| {
+        let mut rng = SimRng::seed(seed);
+        let mut sys = System::new(SystemConfig::paper_table2_noiseless());
+        let agent = sys.spawn_agent();
+        let rows: Vec<_> = (0..8)
+            .map(|bank| sys.alloc_row_in_bank(agent, bank).unwrap())
+            .collect();
+        let mut latencies = Vec::new();
+        for _ in 0..256 {
+            let row = rows[rng.below(rows.len() as u64) as usize];
+            let off = rng.below(64) * 64;
+            let latency = if rng.flip() {
+                sys.load(agent, row + off).unwrap().latency
+            } else {
+                sys.pim_op(agent, row + off).unwrap().latency
+            };
+            latencies.push(latency);
+        }
+        let ctrl = sys.memctrl().stats().clone();
+        let bank0 = sys.memctrl().dram().bank(0).stats().clone();
+        (
+            latencies,
+            sys.elapsed(),
+            (ctrl.accesses, ctrl.rowclones, ctrl.blocked, ctrl.padded),
+            bank0,
+        )
+    };
+    assert_eq!(run(41), run(41));
+    assert_ne!(run(41).0, run(42).0, "different seeds must diverge");
+}
+
 #[test]
 fn different_seeds_differ() {
     let with_seed = |seed: u64| {

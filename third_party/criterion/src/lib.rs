@@ -1,0 +1,185 @@
+//! Offline, API-compatible subset of the [`criterion`] benchmark harness.
+//!
+//! The build environment has no network access, so the real `criterion`
+//! cannot be fetched from crates.io. This shim implements the surface the
+//! workspace benches use — `Criterion`, benchmark groups, `iter` /
+//! `iter_batched`, and the `criterion_group!` / `criterion_main!` macros —
+//! with a simple warmup-then-measure loop reporting mean time per
+//! iteration. It produces no HTML reports and does no statistical
+//! analysis.
+//!
+//! [`criterion`]: https://docs.rs/criterion
+
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Opaque-to-the-optimizer identity function.
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+/// Entry point handed to every benchmark function.
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion {
+            sample_size: 20,
+            measurement_time: Duration::from_secs(1),
+        }
+    }
+}
+
+impl Criterion {
+    /// Runs a single named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher {
+            samples: Vec::new(),
+            sample_size: self.sample_size,
+            measurement_time: self.measurement_time,
+        };
+        f(&mut b);
+        b.report(id);
+        self
+    }
+
+    /// Opens a named group of benchmarks sharing configuration.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            parent: self,
+            name: name.to_string(),
+            sample_size: None,
+            measurement_time: None,
+        }
+    }
+}
+
+/// A group of benchmarks with shared sample-size/measurement-time settings.
+pub struct BenchmarkGroup<'a> {
+    parent: &'a mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+    measurement_time: Option<Duration>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n);
+        self
+    }
+
+    /// Sets the target total measurement time per benchmark.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = Some(d);
+        self
+    }
+
+    /// Runs a named benchmark inside the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher {
+            samples: Vec::new(),
+            sample_size: self.sample_size.unwrap_or(self.parent.sample_size),
+            measurement_time: self
+                .measurement_time
+                .unwrap_or(self.parent.measurement_time),
+        };
+        f(&mut b);
+        b.report(&format!("{}/{}", self.name, id));
+        self
+    }
+
+    /// Ends the group (no-op in the shim; kept for API compatibility).
+    pub fn finish(&mut self) {}
+}
+
+/// How much setup output `iter_batched` amortizes per batch.
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// Small per-iteration inputs: one setup per measured iteration.
+    SmallInput,
+    /// Large per-iteration inputs: one setup per measured iteration.
+    LargeInput,
+}
+
+/// Collects timing samples for one benchmark.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    sample_size: usize,
+    measurement_time: Duration,
+}
+
+impl Bencher {
+    /// Times repeated calls of `routine`.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut routine: F) {
+        // Warmup + calibration: how many iterations fit in one sample.
+        let calib_start = Instant::now();
+        let mut calib_iters: u64 = 0;
+        while calib_start.elapsed() < Duration::from_millis(50) {
+            std_black_box(routine());
+            calib_iters += 1;
+        }
+        let per_iter = calib_start.elapsed().as_nanos().max(1) / u128::from(calib_iters);
+        let budget = self.measurement_time.as_nanos() / (self.sample_size.max(1) as u128);
+        let iters_per_sample = (budget / per_iter.max(1)).clamp(1, 1_000_000) as u64;
+
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..iters_per_sample {
+                std_black_box(routine());
+            }
+            self.samples
+                .push(start.elapsed() / (iters_per_sample as u32));
+        }
+    }
+
+    /// Times `routine` on fresh input from `setup`, excluding setup time.
+    pub fn iter_batched<I, R, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> R,
+    {
+        for _ in 0..self.sample_size {
+            let input = setup();
+            let start = Instant::now();
+            std_black_box(routine(input));
+            self.samples.push(start.elapsed());
+        }
+    }
+
+    fn report(&self, id: &str) {
+        if self.samples.is_empty() {
+            println!("{id:<48} (no samples)");
+            return;
+        }
+        let total: Duration = self.samples.iter().sum();
+        let mean = total / (self.samples.len() as u32);
+        let min = self.samples.iter().min().expect("nonempty");
+        let max = self.samples.iter().max().expect("nonempty");
+        println!("{id:<48} mean {mean:>12?}   min {min:>12?}   max {max:>12?}");
+    }
+}
+
+/// Collects benchmark functions into one named group runner.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Generates `main` running the given group runners.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:ident),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,156 @@
+//! Offline, API-compatible subset of the [`proptest`] crate.
+//!
+//! The build environment has no network access, so the real `proptest`
+//! cannot be fetched from crates.io. This shim implements exactly the
+//! surface the workspace uses — the [`proptest!`] macro, `prop_assert!` /
+//! `prop_assert_eq!` / `prop_assume!`, integer-range strategies, tuple
+//! strategies, `prop::collection::vec` and `prop::option::of` — on top of
+//! a deterministic splitmix64 generator. Unlike the real crate it does
+//! not shrink failing inputs; it reports the failing case verbatim.
+//!
+//! [`proptest`]: https://docs.rs/proptest
+
+pub mod strategy;
+pub mod test_runner;
+
+pub mod collection {
+    //! Strategies for collections (`vec`).
+
+    use crate::strategy::{SizeRange, Strategy, VecStrategy};
+
+    /// A strategy producing `Vec`s of `element` with a length drawn from
+    /// `size` (a fixed `usize` or a `Range<usize>`).
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+}
+
+pub mod option {
+    //! Strategies for `Option`.
+
+    use crate::strategy::{OptionStrategy, Strategy};
+
+    /// A strategy producing `None` or `Some` of the inner strategy's value,
+    /// with equal probability.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy { inner }
+    }
+}
+
+/// A strategy for any value of type `T` (implemented for `bool`).
+pub fn any<T: strategy::Arbitrary>() -> T::Strategy {
+    T::arbitrary()
+}
+
+pub mod prelude {
+    //! Everything a `proptest!` test needs in scope.
+
+    pub use crate as prop;
+    pub use crate::any;
+    pub use crate::strategy::Strategy;
+    pub use crate::test_runner::{TestCaseError, TestCaseResult, TestRunner};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+/// Declares property-based tests: each `fn name(arg in strategy, ...)` item
+/// becomes a `#[test]` that runs the body over generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    ($($(#[$meta:meta])* fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let mut runner = $crate::test_runner::TestRunner::new(concat!(
+                    module_path!(), "::", stringify!($name)
+                ));
+                while runner.next_case() {
+                    $(let $arg = $crate::strategy::Strategy::generate(&$strat, runner.rng());)+
+                    let case_desc = format!(
+                        concat!($(stringify!($arg), " = {:?}, "),+),
+                        $(&$arg),+
+                    );
+                    runner.record(case_desc, move || -> $crate::test_runner::TestCaseResult {
+                        $body
+                        Ok(())
+                    });
+                }
+                runner.finish();
+            }
+        )*
+    };
+}
+
+/// Asserts a condition inside a `proptest!` body, failing the current case
+/// (with the generated inputs echoed) rather than panicking directly.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)*),
+            ));
+        }
+    };
+}
+
+/// Asserts two values are equal inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: {} == {}\n  left: {:?}\n right: {:?}",
+            stringify!($left),
+            stringify!($right),
+            l,
+            r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        if *l != *r {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!(
+                    "{}\n  left: {:?}\n right: {:?}",
+                    format!($($fmt)+),
+                    l,
+                    r
+                ),
+            ));
+        }
+    }};
+}
+
+/// Asserts two values are not equal inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l != *r,
+            "assertion failed: {} != {}\n  both: {:?}",
+            stringify!($left),
+            stringify!($right),
+            l
+        );
+    }};
+}
+
+/// Discards the current case when the precondition does not hold.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::reject(
+                stringify!($cond),
+            ));
+        }
+    };
+}

@@ -1,0 +1,135 @@
+//! Case execution: a deterministic RNG, case accounting, failure reporting.
+
+/// Number of generated cases per property unless `PROPTEST_CASES` is set.
+const DEFAULT_CASES: u32 = 64;
+
+/// Deterministic splitmix64 generator driving all strategies.
+///
+/// Seeded from the test's module path so every run of a given test explores
+/// the same cases — failures are always reproducible.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    fn from_name(name: &str) -> TestRng {
+        // FNV-1a over the test name gives a stable, well-mixed seed.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        TestRng { state: h }
+    }
+
+    /// Next raw 64-bit value (splitmix64).
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `[0, bound)` via Lemire's widening multiply.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "below(0)");
+        ((u128::from(self.next_u64()) * u128::from(bound)) >> 64) as u64
+    }
+}
+
+/// Why a single generated case did not pass.
+#[derive(Debug, Clone)]
+pub enum TestCaseError {
+    /// A `prop_assert!` failed; the property is violated.
+    Fail(String),
+    /// A `prop_assume!` precondition did not hold; the case is discarded.
+    Reject(String),
+}
+
+impl TestCaseError {
+    /// A genuine property violation.
+    pub fn fail(msg: impl Into<String>) -> TestCaseError {
+        TestCaseError::Fail(msg.into())
+    }
+
+    /// A discarded case (unmet precondition).
+    pub fn reject(msg: impl Into<String>) -> TestCaseError {
+        TestCaseError::Reject(msg.into())
+    }
+}
+
+/// Result type the `proptest!` macro wraps each case body in.
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+/// Runs the generated cases of one property and reports the first failure.
+pub struct TestRunner {
+    name: String,
+    rng: TestRng,
+    target: u32,
+    max_attempts: u32,
+    rejected: u32,
+    executed: u32,
+}
+
+impl TestRunner {
+    /// Creates a runner for the named property.
+    pub fn new(name: &str) -> TestRunner {
+        let cases = std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(DEFAULT_CASES);
+        TestRunner {
+            name: name.to_string(),
+            rng: TestRng::from_name(name),
+            target: cases,
+            // Rejected cases (prop_assume!) are replaced rather than
+            // counted against the budget, up to this attempt cap.
+            max_attempts: cases.saturating_mul(16).max(cases),
+            rejected: 0,
+            executed: 0,
+        }
+    }
+
+    /// True while more cases should be generated.
+    pub fn next_case(&mut self) -> bool {
+        self.executed < self.target && self.executed + self.rejected < self.max_attempts
+    }
+
+    /// The RNG strategies draw from.
+    pub fn rng(&mut self) -> &mut TestRng {
+        &mut self.rng
+    }
+
+    /// Executes one case, panicking with the generated inputs on failure.
+    pub fn record(&mut self, case_desc: String, case: impl FnOnce() -> TestCaseResult) {
+        match case() {
+            Ok(()) => self.executed += 1,
+            Err(TestCaseError::Reject(_)) => self.rejected += 1,
+            Err(TestCaseError::Fail(msg)) => {
+                panic!(
+                    "property {} falsified\n  inputs: {}\n  {}",
+                    self.name, case_desc, msg
+                );
+            }
+        }
+    }
+
+    /// Final accounting: fails if every case was rejected, notes reduced
+    /// coverage when the attempt cap cut the run short.
+    pub fn finish(&self) {
+        assert!(
+            self.executed > 0 || self.rejected == 0,
+            "property {}: all {} cases rejected by prop_assume!",
+            self.name,
+            self.rejected
+        );
+        if self.executed < self.target {
+            eprintln!(
+                "note: property {}: executed only {}/{} cases ({} rejected by prop_assume!)",
+                self.name, self.executed, self.target, self.rejected
+            );
+        }
+    }
+}
