@@ -6,6 +6,7 @@ use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use impact_cache::{CacheHierarchy, EvictionSet};
 use impact_core::addr::PhysAddr;
 use impact_core::config::SystemConfig;
+use impact_core::engine::MemRequest;
 use impact_core::time::Cycles;
 use impact_dram::DramDevice;
 use impact_genomics::genome::Genome;
@@ -65,6 +66,42 @@ fn bench_cache(c: &mut Criterion) {
     });
 }
 
+/// The batched request path vs per-request servicing: the baseline future
+/// PRs report speedups against. A 64-request stream alternating over rows
+/// in a handful of banks, issued either one `service` call at a time or
+/// through one amortized `service_batch`.
+fn bench_memctrl_batch(c: &mut Criterion) {
+    let cfg = SystemConfig::paper_table2();
+    let make_reqs = |mc: &impact_memctrl::MemoryController| -> Vec<MemRequest> {
+        (0..64u64)
+            .map(|i| {
+                let addr = mc.mapping().compose((i % 4) as usize, (i / 2) % 8, 0);
+                MemRequest::load(addr, Cycles(i * 400), 0)
+            })
+            .collect()
+    };
+    c.bench_function("memctrl/service_per_request_64", |b| {
+        let mut mc = impact_memctrl::MemoryController::from_config(&cfg);
+        let reqs = make_reqs(&mc);
+        b.iter(|| {
+            reqs.iter()
+                .map(|r| mc.service(r).expect("service").latency.0)
+                .sum::<u64>()
+        });
+    });
+    c.bench_function("memctrl/service_batch_64", |b| {
+        let mut mc = impact_memctrl::MemoryController::from_config(&cfg);
+        let reqs = make_reqs(&mc);
+        b.iter(|| {
+            mc.service_batch(&reqs)
+                .expect("batch")
+                .iter()
+                .map(|r| r.latency.0)
+                .sum::<u64>()
+        });
+    });
+}
+
 fn bench_system(c: &mut Criterion) {
     c.bench_function("system/pim_op_direct", |b| {
         let mut sys = System::new(SystemConfig::paper_table2_noiseless());
@@ -79,6 +116,34 @@ fn bench_system(c: &mut Criterion) {
         let row = sys.alloc_row_in_bank(a, 1).expect("alloc");
         sys.warm_tlb(a, row, 2);
         b.iter(|| sys.load(a, row).expect("load").latency);
+    });
+    // The tight uncached probe loop every attack hot path reduces to,
+    // request-at-a-time vs one batched burst.
+    c.bench_function("system/load_direct_loop_64", |b| {
+        let mut sys = System::new(SystemConfig::paper_table2_noiseless());
+        let a = sys.spawn_agent();
+        let row = sys.alloc_row_in_bank(a, 2).expect("alloc");
+        sys.warm_tlb(a, row, 2);
+        let vas: Vec<_> = (0..64u64).map(|i| row + (i % 128) * 64).collect();
+        b.iter(|| {
+            vas.iter()
+                .map(|&va| sys.load_direct(a, va).expect("load").latency.0)
+                .sum::<u64>()
+        });
+    });
+    c.bench_function("system/load_direct_batch_64", |b| {
+        let mut sys = System::new(SystemConfig::paper_table2_noiseless());
+        let a = sys.spawn_agent();
+        let row = sys.alloc_row_in_bank(a, 2).expect("alloc");
+        sys.warm_tlb(a, row, 2);
+        let vas: Vec<_> = (0..64u64).map(|i| row + (i % 128) * 64).collect();
+        b.iter(|| {
+            sys.load_direct_batch(a, &vas)
+                .expect("batch")
+                .iter()
+                .map(|i| i.latency.0)
+                .sum::<u64>()
+        });
     });
 }
 
@@ -106,6 +171,7 @@ criterion_group!(
     benches,
     bench_dram,
     bench_cache,
+    bench_memctrl_batch,
     bench_system,
     bench_genomics,
     bench_workloads

@@ -10,7 +10,8 @@ use impact_sim::System;
 use impact_workloads::graph::Graph;
 use impact_workloads::{kernels, replay, Trace};
 
-use crate::{Figure, Series};
+use crate::runner::{Scenario, SweepRunner};
+use crate::Figure;
 
 /// The Fig. 12 system: Table 2 with the cache hierarchy scaled down in
 /// proportion to the scaled-down workloads (the kernels' footprints are
@@ -25,7 +26,11 @@ fn fig12_system() -> SystemConfig {
     cfg
 }
 
-fn workload_traces(quick: bool) -> Vec<(&'static str, Trace)> {
+/// The Fig. 12 workload set: (name, trace) pairs replayed under every
+/// defense. Public so determinism tests can drive the same sweep the
+/// figure uses.
+#[must_use]
+pub fn fig12_workloads(quick: bool) -> Vec<(&'static str, Trace)> {
     let scale = if quick { 1 } else { 2 };
     let g = Graph::rmat(256 * scale, 1024 * scale, 42);
     let g_small = Graph::rmat(128 * scale, 512 * scale, 43);
@@ -44,13 +49,61 @@ fn workload_traces(quick: bool) -> Vec<(&'static str, Trace)> {
     ]
 }
 
-fn defenses() -> Vec<(&'static str, Defense)> {
+fn defenses() -> Vec<Defense> {
     vec![
-        ("CTD", Defense::Ctd),
-        ("ACT-Aggressive", Defense::Act(ActConfig::aggressive())),
-        ("ACT-Mild", Defense::Act(ActConfig::mild())),
-        ("ACT-Conservative", Defense::Act(ActConfig::conservative())),
+        Defense::Ctd,
+        Defense::Act(ActConfig::aggressive()),
+        Defense::Act(ActConfig::mild()),
+        Defense::Act(ActConfig::conservative()),
     ]
+}
+
+/// One Fig. 12 curve as a parallelizable [`Scenario`]: replays every
+/// workload on a fresh per-point [`System`] under `defense` and reports
+/// cycles, normalized against `baseline` when one is supplied.
+///
+/// The noisy Table 2 configuration stands in for co-running cores: the
+/// prefetcher/PTW activity creates the row conflicts that arm ACT, as in
+/// the paper's multi-core evaluation.
+pub struct DefenseOverheadSweep<'a> {
+    /// The workloads, from [`fig12_workloads`].
+    pub workloads: &'a [(&'static str, Trace)],
+    /// Defense under test; `None` measures the baseline.
+    pub defense: Option<Defense>,
+    /// Per-workload baseline cycles; empty to report raw cycles.
+    pub baseline: &'a [f64],
+}
+
+impl Scenario for DefenseOverheadSweep<'_> {
+    fn name(&self) -> String {
+        self.defense
+            .as_ref()
+            .map_or("No defense".into(), |d| d.name().into())
+    }
+
+    fn seed(&self) -> u64 {
+        0xF12
+    }
+
+    fn xs(&self) -> Vec<f64> {
+        (0..self.workloads.len()).map(|i| i as f64).collect()
+    }
+
+    fn eval(&self, x: f64, _rng: &mut SimRng) -> f64 {
+        let i = x as usize;
+        let mut sys = System::new(fig12_system());
+        if let Some(d) = &self.defense {
+            sys.set_defense(d.clone());
+        }
+        let agent = sys.spawn_agent();
+        let r = replay(&mut sys, agent, &self.workloads[i].1).expect("replay");
+        let cycles = r.cycles.as_f64();
+        if self.baseline.is_empty() {
+            cycles
+        } else {
+            cycles / self.baseline[i]
+        }
+    }
 }
 
 /// Fig. 12: normalized execution time of CTD and the three ACT variants
@@ -59,19 +112,20 @@ fn defenses() -> Vec<(&'static str, Defense)> {
 /// paper).
 #[must_use]
 pub fn fig12(quick: bool) -> Figure {
-    let traces = workload_traces(quick);
-    let names: Vec<&str> = traces.iter().map(|(n, _)| *n).collect();
+    let workloads = fig12_workloads(quick);
+    let runner = SweepRunner::auto();
 
-    // Baseline execution times. The noisy Table 2 configuration stands in
-    // for co-running cores: the prefetcher/PTW activity creates the row
-    // conflicts that arm ACT, as in the paper's multi-core evaluation.
-    let mut baseline = Vec::new();
-    for (_, trace) in &traces {
-        let mut sys = System::new(fig12_system());
-        let agent = sys.spawn_agent();
-        let r = replay(&mut sys, agent, trace).expect("baseline replay");
-        baseline.push(r.cycles.as_f64());
-    }
+    // Baseline execution times, swept in parallel like every other curve.
+    let baseline: Vec<f64> = runner
+        .run(&DefenseOverheadSweep {
+            workloads: &workloads,
+            defense: None,
+            baseline: &[],
+        })
+        .points
+        .into_iter()
+        .map(|(_, y)| y)
+        .collect();
 
     let mut fig = Figure::new(
         "fig12",
@@ -80,20 +134,19 @@ pub fn fig12(quick: bool) -> Figure {
         "normalized execution time",
     );
 
-    for (dname, defense) in defenses() {
-        let mut points = Vec::new();
-        let mut normalized = Vec::new();
-        for (i, (_, trace)) in traces.iter().enumerate() {
-            let mut sys = System::new(fig12_system());
-            sys.set_defense(defense.clone());
-            let agent = sys.spawn_agent();
-            let r = replay(&mut sys, agent, trace).expect("defended replay");
-            let norm = r.cycles.as_f64() / baseline[i];
-            points.push((i as f64, norm));
-            normalized.push(norm);
-        }
-        points.push((names.len() as f64, geometric_mean(&normalized)));
-        fig = fig.with_series(Series::new(dname, points));
+    // Series legends come from `Defense::name()` via the scenario, so the
+    // figure always matches the paper's labels.
+    for defense in defenses() {
+        let mut series = runner.run(&DefenseOverheadSweep {
+            workloads: &workloads,
+            defense: Some(defense),
+            baseline: &baseline,
+        });
+        let normalized: Vec<f64> = series.points.iter().map(|&(_, y)| y).collect();
+        series
+            .points
+            .push((workloads.len() as f64, geometric_mean(&normalized)));
+        fig = fig.with_series(series);
     }
 
     // ACT-Aggressive's effect on the IMPACT-PnM covert channel.
@@ -118,6 +171,20 @@ pub fn fig12(quick: bool) -> Figure {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::runner::series_bits_eq;
+
+    #[test]
+    fn defense_sweep_parallel_matches_serial() {
+        let workloads = fig12_workloads(true);
+        let sweep = DefenseOverheadSweep {
+            workloads: &workloads,
+            defense: Some(Defense::Act(ActConfig::mild())),
+            baseline: &[],
+        };
+        let serial = SweepRunner::serial().run(&sweep);
+        let parallel = SweepRunner::new(4).run(&sweep);
+        assert!(series_bits_eq(&serial, &parallel));
+    }
 
     #[test]
     fn fig12_overhead_ordering() {

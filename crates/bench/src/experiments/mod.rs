@@ -10,10 +10,10 @@ mod tables;
 
 pub use ablation::ablations;
 pub use covert::{fig10, fig8, fig9};
-pub use defense::fig12;
+pub use defense::{fig12, fig12_workloads, DefenseOverheadSweep};
 pub use future::{future_banks, rfm_filtering};
 pub use side::fig11;
-pub use sweeps::{delta, fig2, fig3};
+pub use sweeps::{delta, fig2, fig3, LlcAxis, LlcCurve, LlcSweep};
 pub use tables::{table1, table2};
 
 use crate::Figure;

@@ -3,8 +3,11 @@
 //!
 //! Each experiment in [`experiments`] is a pure function returning a
 //! structured [`series::Figure`]; the `fig_all` binary renders them as
-//! text/CSV. The per-experiment index lives in DESIGN.md; measured-vs-paper
-//! numbers are recorded in EXPERIMENTS.md.
+//! text/CSV. Sweep-style experiments are expressed as [`runner::Scenario`]s
+//! and executed by the [`runner::SweepRunner`], which fans sweep points out
+//! across worker threads with bit-identical results to the serial path.
+//! The per-experiment index lives in DESIGN.md; measured-vs-paper numbers
+//! are recorded in EXPERIMENTS.md.
 //!
 //! | Experiment | Paper artifact |
 //! |---|---|
@@ -21,6 +24,8 @@
 //! | [`experiments::ablations`] | DESIGN.md §4 ablation studies |
 
 pub mod experiments;
+pub mod runner;
 pub mod series;
 
+pub use runner::{Scenario, SweepRunner};
 pub use series::{Figure, Series};

@@ -1,0 +1,288 @@
+//! Deterministic parallel sweep execution.
+//!
+//! A [`Scenario`] describes one experiment curve: the swept x values plus a
+//! pure-per-point evaluation. The [`SweepRunner`] fans the points out over
+//! `std::thread::scope` worker threads; because every point builds its own
+//! seeded state (typically a `System` derived from a per-point
+//! [`SimRng`]), the produced [`Series`] is bit-identical no matter how many
+//! threads execute it — the reproducibility contract EXPERIMENTS.md relies
+//! on, now at sweep granularity.
+//!
+//! # Writing a new scenario
+//!
+//! ```
+//! use impact_bench::runner::{Scenario, SweepRunner};
+//! use impact_core::config::SystemConfig;
+//! use impact_core::rng::SimRng;
+//! use impact_sim::System;
+//!
+//! /// Average cold-load latency over a handful of random rows.
+//! struct ColdLoad;
+//!
+//! impl Scenario for ColdLoad {
+//!     fn name(&self) -> String {
+//!         "cold load (cycles)".into()
+//!     }
+//!     fn seed(&self) -> u64 {
+//!         0xC01D
+//!     }
+//!     fn xs(&self) -> Vec<f64> {
+//!         vec![1.0, 2.0, 4.0]
+//!     }
+//!     fn eval(&self, x: f64, rng: &mut SimRng) -> f64 {
+//!         // One fresh, per-point system: parallel-safe by construction.
+//!         let mut sys = System::new(SystemConfig::paper_table2_noiseless());
+//!         let agent = sys.spawn_agent();
+//!         let mut total = 0.0;
+//!         for _ in 0..x as u64 {
+//!             let bank = rng.below(16) as usize;
+//!             let va = sys.alloc_row_in_bank(agent, bank).unwrap();
+//!             total += sys.load(agent, va).unwrap().latency.as_f64();
+//!         }
+//!         total / x
+//!     }
+//! }
+//!
+//! let series = SweepRunner::new(2).run(&ColdLoad);
+//! assert_eq!(series.points.len(), 3);
+//! ```
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::thread;
+
+use impact_core::rng::SimRng;
+
+use crate::Series;
+
+/// One experiment curve evaluated over swept x values.
+///
+/// Implementations must be pure per point: `eval` may build arbitrary
+/// simulator state, but only from its arguments — the swept `x` and an
+/// RNG derived from ([`Scenario::seed`], point index). That makes point
+/// evaluation order (and thus thread count) unobservable.
+pub trait Scenario: Sync {
+    /// Legend name of the produced series.
+    fn name(&self) -> String;
+
+    /// Base seed; point `i` evaluates with `SimRng::seed(seed).derive(i)`.
+    fn seed(&self) -> u64 {
+        0x5EED
+    }
+
+    /// The swept x values, in presentation order.
+    fn xs(&self) -> Vec<f64>;
+
+    /// Evaluates one sweep point.
+    fn eval(&self, x: f64, rng: &mut SimRng) -> f64;
+
+    /// Runs the scenario serially (the reference path).
+    fn run(&self) -> Series
+    where
+        Self: Sized,
+    {
+        SweepRunner::serial().run(self)
+    }
+}
+
+/// Derives the per-point RNG: a pure function of (scenario seed, index).
+fn point_rng(seed: u64, index: usize) -> SimRng {
+    SimRng::seed(seed).derive(index as u64)
+}
+
+/// Executes a [`Scenario`]'s sweep points across worker threads.
+#[derive(Debug, Clone, Copy)]
+pub struct SweepRunner {
+    threads: usize,
+}
+
+impl SweepRunner {
+    /// A runner with the given worker count (clamped to at least 1).
+    #[must_use]
+    pub fn new(threads: usize) -> SweepRunner {
+        SweepRunner {
+            threads: threads.max(1),
+        }
+    }
+
+    /// The single-threaded reference runner.
+    #[must_use]
+    pub fn serial() -> SweepRunner {
+        SweepRunner::new(1)
+    }
+
+    /// A runner sized to the machine's available parallelism.
+    #[must_use]
+    pub fn auto() -> SweepRunner {
+        SweepRunner::new(thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get))
+    }
+
+    /// Worker threads this runner uses.
+    #[must_use]
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Runs every sweep point and assembles the [`Series`].
+    ///
+    /// Points are claimed from a shared counter, evaluated with their own
+    /// derived RNG, and reassembled in index order — the output is
+    /// bit-identical for every thread count.
+    pub fn run<S: Scenario + ?Sized>(&self, scenario: &S) -> Series {
+        let xs = scenario.xs();
+        let seed = scenario.seed();
+        let ys = if self.threads == 1 || xs.len() <= 1 {
+            xs.iter()
+                .enumerate()
+                .map(|(i, &x)| scenario.eval(x, &mut point_rng(seed, i)))
+                .collect()
+        } else {
+            let workers = self.threads.min(xs.len());
+            let next = AtomicUsize::new(0);
+            let mut indexed: Vec<(usize, f64)> = thread::scope(|scope| {
+                let handles: Vec<_> = (0..workers)
+                    .map(|_| {
+                        scope.spawn(|| {
+                            let mut local = Vec::new();
+                            loop {
+                                let i = next.fetch_add(1, Ordering::Relaxed);
+                                let Some(&x) = xs.get(i) else { break };
+                                local.push((i, scenario.eval(x, &mut point_rng(seed, i))));
+                            }
+                            local
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .flat_map(|h| h.join().expect("sweep worker panicked"))
+                    .collect()
+            });
+            indexed.sort_unstable_by_key(|&(i, _)| i);
+            indexed.into_iter().map(|(_, y)| y).collect::<Vec<f64>>()
+        };
+        Series::new(scenario.name(), xs.into_iter().zip(ys).collect())
+    }
+
+    /// Runs the sweep in parallel and asserts the result is bit-identical
+    /// to the serial reference path before returning it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the parallel and serial series diverge — which would mean
+    /// a scenario observes evaluation order and is not safe to parallelize.
+    pub fn run_verified<S: Scenario + ?Sized>(&self, scenario: &S) -> Series {
+        let parallel = self.run(scenario);
+        let serial = SweepRunner::serial().run(scenario);
+        assert!(
+            series_bits_eq(&parallel, &serial),
+            "parallel sweep diverged from the serial path for `{}`",
+            parallel.name
+        );
+        parallel
+    }
+}
+
+/// Bit-exact series equality: names, lengths and the IEEE-754 bits of
+/// every point (so `-0.0 != 0.0` and NaNs compare by payload).
+#[must_use]
+pub fn series_bits_eq(a: &Series, b: &Series) -> bool {
+    a.name == b.name
+        && a.points.len() == b.points.len()
+        && a.points
+            .iter()
+            .zip(&b.points)
+            .all(|(&(xa, ya), &(xb, yb))| {
+                xa.to_bits() == xb.to_bits() && ya.to_bits() == yb.to_bits()
+            })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use impact_core::config::SystemConfig;
+    use impact_sim::System;
+
+    /// A System-backed scenario: per-point seeded request streams.
+    struct RandomProbes;
+
+    impl Scenario for RandomProbes {
+        fn name(&self) -> String {
+            "random probes".into()
+        }
+        fn seed(&self) -> u64 {
+            41
+        }
+        fn xs(&self) -> Vec<f64> {
+            (1..=8).map(f64::from).collect()
+        }
+        fn eval(&self, x: f64, rng: &mut SimRng) -> f64 {
+            let mut sys = System::new(SystemConfig::paper_table2_noiseless());
+            let agent = sys.spawn_agent();
+            let mut total = 0u64;
+            for _ in 0..(x as u64 * 8) {
+                let bank = rng.below(16) as usize;
+                let va = sys.alloc_row_in_bank(agent, bank).expect("alloc");
+                total += sys.load(agent, va).expect("load").latency.0;
+            }
+            total as f64
+        }
+    }
+
+    #[test]
+    fn thread_count_is_unobservable() {
+        let serial = SweepRunner::serial().run(&RandomProbes);
+        for threads in [2, 3, 8, 32] {
+            let parallel = SweepRunner::new(threads).run(&RandomProbes);
+            assert!(
+                series_bits_eq(&serial, &parallel),
+                "{threads} threads diverged"
+            );
+        }
+    }
+
+    #[test]
+    fn run_verified_returns_the_parallel_result() {
+        let s = SweepRunner::new(4).run_verified(&RandomProbes);
+        assert_eq!(s.points.len(), 8);
+        assert!(s.points.iter().all(|&(_, y)| y > 0.0));
+    }
+
+    #[test]
+    fn default_run_is_serial() {
+        let a = RandomProbes.run();
+        let b = SweepRunner::serial().run(&RandomProbes);
+        assert!(series_bits_eq(&a, &b));
+    }
+
+    #[test]
+    fn runner_clamps_to_one_thread() {
+        assert_eq!(SweepRunner::new(0).threads(), 1);
+        assert!(SweepRunner::auto().threads() >= 1);
+    }
+
+    #[test]
+    fn bit_equality_is_strict() {
+        let a = Series::new("s", vec![(1.0, 0.0)]);
+        let b = Series::new("s", vec![(1.0, -0.0)]);
+        assert!(!series_bits_eq(&a, &b));
+        assert!(series_bits_eq(&a, &a.clone()));
+    }
+
+    #[test]
+    fn empty_sweep_produces_empty_series() {
+        struct Empty;
+        impl Scenario for Empty {
+            fn name(&self) -> String {
+                "empty".into()
+            }
+            fn xs(&self) -> Vec<f64> {
+                Vec::new()
+            }
+            fn eval(&self, _: f64, _: &mut SimRng) -> f64 {
+                unreachable!("no points to evaluate")
+            }
+        }
+        let s = SweepRunner::new(4).run(&Empty);
+        assert!(s.points.is_empty());
+    }
+}

@@ -4,8 +4,11 @@
 //! workspace: simulation time ([`time::Cycles`], [`time::Nanos`]), physical
 //! and virtual addresses ([`addr::PhysAddr`], [`addr::VirtAddr`]),
 //! configuration for the simulated system ([`config::SystemConfig`], which
-//! mirrors Table 2 of the paper), statistics counters ([`stats`]) and a
-//! deterministic, seedable random-number generator ([`rng::SimRng`]).
+//! mirrors Table 2 of the paper), statistics counters ([`stats`]), a
+//! deterministic, seedable random-number generator ([`rng::SimRng`]), and
+//! the pluggable memory-engine vocabulary ([`engine`]): request/response
+//! types plus the [`engine::MemoryBackend`] trait the simulator core is
+//! generic over.
 //!
 //! # Example
 //!
@@ -21,6 +24,7 @@
 
 pub mod addr;
 pub mod config;
+pub mod engine;
 pub mod error;
 pub mod rng;
 pub mod stats;
@@ -28,6 +32,7 @@ pub mod time;
 
 pub use addr::{PhysAddr, VirtAddr};
 pub use config::SystemConfig;
+pub use engine::{BackendStats, MemRequest, MemResponse, MemoryBackend, ReqKind, RowBufferKind};
 pub use error::{Error, Result};
 pub use rng::SimRng;
 pub use time::{Cycles, Nanos};

@@ -1,33 +1,14 @@
 //! Per-bank row-buffer state machine.
 
-use core::fmt;
-
 use impact_core::time::Cycles;
 
 use crate::policy::RowPolicy;
 use crate::timing::ResolvedTiming;
 
-/// Classification of an access with respect to the row buffer (§2.1).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-pub enum RowBufferKind {
-    /// The target row was already open: CAS only.
-    Hit,
-    /// The bank was precharged: ACT + CAS.
-    Miss,
-    /// A different row was open: PRE + ACT + CAS.
-    Conflict,
-}
-
-impl fmt::Display for RowBufferKind {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let s = match self {
-            RowBufferKind::Hit => "hit",
-            RowBufferKind::Miss => "miss",
-            RowBufferKind::Conflict => "conflict",
-        };
-        f.write_str(s)
-    }
-}
+// The classification enum lives in the backend-agnostic engine vocabulary
+// so that backends outside this crate can speak it; re-exported here (and
+// from the crate root) for source compatibility.
+pub use impact_core::engine::RowBufferKind;
 
 /// Result of serving one DRAM operation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

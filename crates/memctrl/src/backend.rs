@@ -1,0 +1,194 @@
+//! [`MemoryBackend`] implementation for [`MemoryController`] — the default
+//! engine behind the whole-system simulator.
+
+use impact_core::engine::{BackendStats, MemRequest, MemResponse, MemoryBackend};
+use impact_core::error::Result;
+use impact_core::time::Cycles;
+
+use crate::controller::MemoryController;
+
+impl MemoryBackend for MemoryController {
+    fn service(&mut self, req: &MemRequest) -> Result<MemResponse> {
+        MemoryController::service(self, req)
+    }
+
+    fn service_batch(&mut self, reqs: &[MemRequest]) -> Result<Vec<MemResponse>> {
+        MemoryController::service_batch(self, reqs)
+    }
+
+    fn backend_stats(&self) -> BackendStats {
+        self.stats().clone()
+    }
+
+    fn defense_label(&self) -> &'static str {
+        self.defense().name()
+    }
+
+    fn worst_case_latency(&self) -> Cycles {
+        MemoryController::worst_case_latency(self)
+    }
+
+    fn num_banks(&self) -> usize {
+        self.dram().num_banks()
+    }
+
+    fn rows_per_bank(&self) -> u64 {
+        self.dram().geometry().rows_per_bank
+    }
+
+    fn inject_row_activation(&mut self, bank: usize, row: u64, at: Cycles, actor: u32) {
+        self.dram_mut().access_as(bank, row, at, actor);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::controller::PeriodicBlock;
+    use crate::defense::{ActConfig, Defense, MprPartition};
+    use impact_core::addr::PhysAddr;
+    use impact_core::config::SystemConfig;
+    use impact_core::engine::RowBufferKind;
+
+    fn controller() -> MemoryController {
+        MemoryController::from_config(&SystemConfig::paper_table2())
+    }
+
+    /// A request stream touching hits, misses and conflicts across banks.
+    fn stream(mc: &MemoryController) -> Vec<MemRequest> {
+        let mut reqs = Vec::new();
+        let mut at = Cycles(0);
+        for i in 0..96u64 {
+            let bank = (i % 7) as usize;
+            let row = (i / 3) % 5;
+            let addr = mc.mapping().compose(bank, row, (i % 4) as u32 * 64);
+            reqs.push(MemRequest::load(addr, at, (i % 2) as u32));
+            at += Cycles(400);
+        }
+        reqs
+    }
+
+    fn serial(mc: &mut MemoryController, reqs: &[MemRequest]) -> Vec<MemResponse> {
+        reqs.iter().map(|r| mc.service(r).unwrap()).collect()
+    }
+
+    #[test]
+    fn batch_matches_serial_without_defense() {
+        let mut a = controller();
+        let reqs = stream(&a);
+        let mut b = controller();
+        assert_eq!(a.service_batch(&reqs).unwrap(), serial(&mut b, &reqs));
+        assert_eq!(a.stats(), b.stats());
+    }
+
+    #[test]
+    fn batch_matches_serial_under_every_defense() {
+        for defense in [
+            Defense::Crp,
+            Defense::Ctd,
+            Defense::Act(ActConfig::aggressive()),
+            Defense::Act(ActConfig::mild()),
+        ] {
+            let mut a = controller();
+            a.set_defense(defense.clone());
+            let reqs = stream(&a);
+            let mut b = controller();
+            b.set_defense(defense.clone());
+            assert_eq!(
+                a.service_batch(&reqs).unwrap(),
+                serial(&mut b, &reqs),
+                "defense {}",
+                defense.name()
+            );
+        }
+    }
+
+    #[test]
+    fn batch_matches_serial_under_periodic_block() {
+        let mut a = controller();
+        a.set_periodic_block(Some(PeriodicBlock::rfm_paper_default()));
+        let reqs = stream(&a);
+        let mut b = controller();
+        b.set_periodic_block(Some(PeriodicBlock::rfm_paper_default()));
+        assert_eq!(a.service_batch(&reqs).unwrap(), serial(&mut b, &reqs));
+        assert_eq!(a.stats().blocked, b.stats().blocked);
+    }
+
+    #[test]
+    fn batch_takes_lean_path_with_mpr() {
+        // MPR does not pad latency, so the lean path must still enforce
+        // the partition per request.
+        let mut mc = controller();
+        let mut p = MprPartition::new(16);
+        p.assign_round_robin(&[0, 1]);
+        mc.set_defense(Defense::Mpr(p));
+        let owned = mc.mapping().compose(0, 1, 0);
+        let foreign = mc.mapping().compose(1, 1, 0);
+        let ok = MemRequest::load(owned, Cycles(0), 0);
+        let bad = MemRequest::load(foreign, Cycles(0), 0);
+        assert!(mc.service_batch(&[ok]).is_ok());
+        assert!(mc.service_batch(&[bad]).is_err());
+        assert_eq!(mc.stats().partition_rejects, 1);
+    }
+
+    #[test]
+    fn rowclone_request_roundtrips() {
+        let mut mc = controller();
+        let row_bytes = mc.dram().geometry().row_bytes;
+        let req = MemRequest::rowclone(
+            PhysAddr(0),
+            PhysAddr(64 * 16 * row_bytes),
+            0xFFFF,
+            Cycles(0),
+            0,
+        );
+        let resp = MemoryBackend::service(&mut mc, &req).unwrap();
+        assert_eq!(resp.per_bank.len(), 16);
+        assert_eq!(resp.bank, 0);
+        assert_eq!(resp.kind, RowBufferKind::Miss);
+        let max_lane = resp.per_bank.iter().map(|(_, _, l)| *l).max().unwrap();
+        assert_eq!(resp.latency, max_lane);
+        assert_eq!(mc.backend_stats().rowclones, 1);
+    }
+
+    #[test]
+    fn rowclone_response_reports_first_set_lane() {
+        // Mask with bit 0 clear: the headline (bank, row, kind) must all
+        // describe the first *set* lane, not the range base.
+        let mut mc = controller();
+        let row_bytes = mc.dram().geometry().row_bytes;
+        let src = PhysAddr(0);
+        let dst = PhysAddr(64 * 16 * row_bytes);
+        let req = MemRequest::rowclone(src, dst, 0b100, Cycles(0), 0);
+        let resp = mc.service(&req).unwrap();
+        assert_eq!(resp.per_bank.len(), 1);
+        assert_eq!(resp.bank, 2);
+        let lane_src = PhysAddr(2 * row_bytes);
+        assert_eq!(resp.row, mc.mapping().map(lane_src).row);
+    }
+
+    #[test]
+    fn trait_surface_reports_topology_and_defense() {
+        let mut mc = controller();
+        assert_eq!(MemoryBackend::num_banks(&mc), 16);
+        assert!(mc.rows_per_bank() > 0);
+        assert_eq!(mc.defense_label(), "None");
+        mc.set_defense(Defense::Ctd);
+        assert_eq!(mc.defense_label(), "CTD");
+        assert_eq!(
+            MemoryBackend::worst_case_latency(&mc),
+            MemoryController::worst_case_latency(&mc)
+        );
+    }
+
+    #[test]
+    fn injected_activation_touches_bank_state() {
+        let mut mc = controller();
+        mc.inject_row_activation(3, 9, Cycles(0), 99);
+        assert_eq!(mc.dram().bank(3).stats().activations, 1);
+        // A demand access to the injected row now hits.
+        let addr = mc.mapping().compose(3, 9, 0);
+        let out = mc.access(addr, Cycles(1000), 0).unwrap();
+        assert_eq!(out.kind, RowBufferKind::Hit);
+    }
+}

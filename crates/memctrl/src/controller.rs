@@ -2,11 +2,16 @@
 
 use impact_core::addr::PhysAddr;
 use impact_core::config::SystemConfig;
+use impact_core::engine::{MemRequest, MemResponse, ReqKind};
 use impact_core::error::{Error, Result};
 use impact_core::time::{Clock, Cycles};
 use impact_dram::{AddressMapping, DramDevice, RowBufferKind, RowInterleaved, RowPolicy};
 
 use crate::defense::{ActBankState, Defense};
+
+/// Controller statistics (the shared backend-stats vocabulary; every
+/// counter is maintained by this controller).
+pub use impact_core::engine::BackendStats as CtrlStats;
 
 /// A periodic per-bank blocking mechanism: refresh (REF) or RowHammer
 /// mitigations (RFM / PRAC, §8.4 of the paper). Once per `interval` per
@@ -52,6 +57,19 @@ pub struct MemAccess {
     pub completed_at: Cycles,
 }
 
+impl From<MemAccess> for MemResponse {
+    fn from(a: MemAccess) -> MemResponse {
+        MemResponse {
+            bank: a.bank,
+            row: a.row,
+            kind: a.kind,
+            latency: a.latency,
+            completed_at: a.completed_at,
+            per_bank: Vec::new(),
+        }
+    }
+}
+
 /// Result of a masked RowClone operation (one per-bank copy per mask bit).
 #[derive(Debug, Clone)]
 pub struct RowCloneOutcome {
@@ -63,21 +81,6 @@ pub struct RowCloneOutcome {
     pub latency: Cycles,
     /// Completion time of the whole operation.
     pub completed_at: Cycles,
-}
-
-/// Controller statistics.
-#[derive(Debug, Default, Clone)]
-pub struct CtrlStats {
-    /// Demand accesses served.
-    pub accesses: u64,
-    /// RowClone operations served (whole masked requests).
-    pub rowclones: u64,
-    /// Requests delayed by a periodic blocking event (REF/RFM/PRAC).
-    pub blocked: u64,
-    /// Accesses that were served at defense-padded latency.
-    pub padded: u64,
-    /// Accesses rejected by MPR.
-    pub partition_rejects: u64,
 }
 
 /// The memory controller: address mapping + DRAM device + defenses.
@@ -233,6 +236,92 @@ impl MemoryController {
         let out = self.dram.access_as(bank, row, now + block, actor);
         let raw_latency = out.completed_at - now + self.overhead;
         let latency = self.apply_latency_defense(bank, out.kind, raw_latency, now);
+        Ok(MemAccess {
+            addr,
+            bank,
+            row,
+            kind: out.kind,
+            latency,
+            completed_at: now + latency,
+        })
+    }
+
+    /// Serves one engine-level [`MemRequest`] (the entry point the
+    /// simulator core routes every memory operation through).
+    ///
+    /// # Errors
+    ///
+    /// As for [`MemoryController::access`] and
+    /// [`MemoryController::rowclone`].
+    pub fn service(&mut self, req: &MemRequest) -> Result<MemResponse> {
+        match req.kind {
+            ReqKind::Load | ReqKind::Store | ReqKind::Pim => {
+                Ok(self.access(req.addr, req.at, req.actor)?.into())
+            }
+            ReqKind::RowClone { dst, mask } => {
+                // The response headline reports the first *set* lane, so
+                // its source row lives `trailing_zeros` row-chunks past
+                // the range base (rowclone rejects empty masks).
+                let first_lane = u64::from(mask.trailing_zeros());
+                let row = self
+                    .mapping
+                    .map(req.addr + first_lane * self.dram.geometry().row_bytes)
+                    .row;
+                let out = self.rowclone(req.addr, dst, mask, req.at, req.actor)?;
+                let (bank, kind, _) = out.per_bank[0];
+                Ok(MemResponse {
+                    bank,
+                    row,
+                    kind,
+                    latency: out.latency,
+                    completed_at: out.completed_at,
+                    per_bank: out.per_bank,
+                })
+            }
+        }
+    }
+
+    /// Serves a batch of requests in order, amortizing the per-request
+    /// defense and periodic-block bookkeeping: when neither a periodic
+    /// blocking mechanism nor a latency-padding defense is installed, the
+    /// whole batch takes a lean path that skips the per-access epoch and
+    /// padding checks entirely. Responses are bit-identical to issuing
+    /// each request through [`MemoryController::service`] serially.
+    ///
+    /// # Errors
+    ///
+    /// Fails on the first failing request; state up to that request has
+    /// been applied, matching the serial path.
+    pub fn service_batch(&mut self, reqs: &[MemRequest]) -> Result<Vec<MemResponse>> {
+        // Hoisted once per batch instead of re-derived per access: the
+        // lean path is valid exactly when `take_block_delay` would always
+        // return zero and `apply_latency_defense` would always return the
+        // raw latency.
+        let lean = self.blocking.is_none() && !self.defense.pads_latency();
+        let mut out = Vec::with_capacity(reqs.len());
+        for req in reqs {
+            let resp = match req.kind {
+                ReqKind::Load | ReqKind::Store | ReqKind::Pim if lean => {
+                    self.access_lean(req.addr, req.at, req.actor)?.into()
+                }
+                _ => self.service(req)?,
+            };
+            out.push(resp);
+        }
+        Ok(out)
+    }
+
+    /// Demand access with the periodic-block and latency-defense checks
+    /// compiled out — only sound when the caller has established neither
+    /// can fire (see [`MemoryController::service_batch`]).
+    fn access_lean(&mut self, addr: PhysAddr, now: Cycles, actor: u32) -> Result<MemAccess> {
+        self.check_capacity(addr)?;
+        let bank = self.mapping.flat_bank(addr);
+        let row = self.mapping.map(addr).row;
+        self.check_partition(bank, actor)?;
+        self.stats.accesses += 1;
+        let out = self.dram.access_as(bank, row, now, actor);
+        let latency = out.completed_at - now + self.overhead;
         Ok(MemAccess {
             addr,
             bank,

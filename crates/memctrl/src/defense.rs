@@ -163,6 +163,18 @@ impl Defense {
             Defense::Act(_) => "ACT",
         }
     }
+
+    /// Whether this defense may pad access latency (the variants the
+    /// controller's `apply_latency_defense` acts on). The batched request
+    /// path consults this to decide when per-access padding checks can be
+    /// skipped, so a new padding defense only needs updating here.
+    #[must_use]
+    pub fn pads_latency(&self) -> bool {
+        match self {
+            Defense::Ctd | Defense::Act(_) => true,
+            Defense::None | Defense::Mpr(_) | Defense::Crp => false,
+        }
+    }
 }
 
 /// Per-bank runtime state of the ACT defense.

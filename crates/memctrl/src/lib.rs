@@ -26,8 +26,9 @@
 //! # Ok::<(), impact_core::Error>(())
 //! ```
 
+pub mod backend;
 pub mod controller;
 pub mod defense;
 
-pub use controller::{MemAccess, MemoryController, PeriodicBlock, RowCloneOutcome};
+pub use controller::{CtrlStats, MemAccess, MemoryController, PeriodicBlock, RowCloneOutcome};
 pub use defense::{ActConfig, Defense, MprPartition};

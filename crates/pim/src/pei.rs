@@ -13,10 +13,9 @@
 
 use impact_core::addr::PhysAddr;
 use impact_core::config::PimConfig;
+use impact_core::engine::{MemRequest, MemoryBackend, RowBufferKind};
 use impact_core::error::Result;
 use impact_core::time::Cycles;
-use impact_dram::RowBufferKind;
-use impact_memctrl::MemoryController;
 
 /// Where the PMU decided to execute a PEI.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -139,11 +138,11 @@ impl PeiEngine {
     ///
     /// # Errors
     ///
-    /// Propagates memory-controller errors (partition violations,
-    /// out-of-range addresses) for memory-side execution.
-    pub fn execute(
+    /// Propagates backend errors (partition violations, out-of-range
+    /// addresses) for memory-side execution.
+    pub fn execute<B: MemoryBackend>(
         &mut self,
-        mc: &mut MemoryController,
+        mem: &mut B,
         addr: PhysAddr,
         now: Cycles,
         actor: u32,
@@ -158,7 +157,7 @@ impl PeiEngine {
                     completed_at: now + latency,
                 })
             }
-            ExecSite::MemorySide => self.execute_memory_side(mc, addr, now, actor),
+            ExecSite::MemorySide => self.execute_memory_side(mem, addr, now, actor),
         }
     }
 
@@ -168,16 +167,16 @@ impl PeiEngine {
     ///
     /// # Errors
     ///
-    /// Propagates memory-controller errors.
-    pub fn execute_memory_side(
+    /// Propagates backend errors.
+    pub fn execute_memory_side<B: MemoryBackend>(
         &mut self,
-        mc: &mut MemoryController,
+        mem: &mut B,
         addr: PhysAddr,
         now: Cycles,
         actor: u32,
     ) -> Result<PeiOutcome> {
         let overhead = Cycles(self.cfg.pei_overhead_cycles + self.cfg.pcu_transport_cycles);
-        let access = mc.access(addr, now + overhead, actor)?;
+        let access = mem.service(&MemRequest::pim(addr, now + overhead, actor))?;
         let latency = overhead + access.latency;
         Ok(PeiOutcome {
             site: ExecSite::MemorySide,
@@ -197,6 +196,7 @@ impl PeiEngine {
 mod tests {
     use super::*;
     use impact_core::config::SystemConfig;
+    use impact_memctrl::MemoryController;
 
     fn setup() -> (MemoryController, PeiEngine) {
         let cfg = SystemConfig::paper_table2();

@@ -1,15 +1,16 @@
 //! RowClone, the PuM substrate (Seshadri et al., MICRO'13).
 //!
 //! Userspace issues one request carrying a source range, a destination
-//! range and a bank mask; the memory controller breaks it into parallel
+//! range and a bank mask; the memory backend breaks it into parallel
 //! per-bank Fast-Parallel-Mode copies (§4.2 / Listing 2 of the paper). The
 //! engine here validates ranges and provides mask helpers; the per-bank
-//! timing lives in [`impact_memctrl::MemoryController::rowclone`].
+//! timing lives in the backend (`impact_memctrl::MemoryController` by
+//! default).
 
 use impact_core::addr::PhysAddr;
+use impact_core::engine::{MemRequest, MemResponse, MemoryBackend};
 use impact_core::error::{Error, Result};
 use impact_core::time::Cycles;
-use impact_memctrl::{MemoryController, RowCloneOutcome};
 
 /// Builds a bank mask from per-bank bits (bit `i` of the result = `bits[i]`).
 ///
@@ -86,24 +87,25 @@ impl RowCloneEngine {
         Ok(())
     }
 
-    /// Executes a masked RowClone through the controller.
+    /// Executes a masked RowClone through the memory backend.
     ///
     /// # Errors
     ///
     /// Returns validation errors from [`RowCloneEngine::validate`] or
-    /// controller errors (cross-bank lanes, partition violations,
+    /// backend errors (cross-bank lanes, partition violations,
     /// out-of-range addresses).
-    pub fn execute(
+    pub fn execute<B: MemoryBackend>(
         &self,
-        mc: &mut MemoryController,
+        mem: &mut B,
         src: PhysAddr,
         dst: PhysAddr,
         mask: u64,
         now: Cycles,
         actor: u32,
-    ) -> Result<RowCloneOutcome> {
-        self.validate(src, dst, mask, mc.dram().geometry().total_banks())?;
-        mc.rowclone(src, dst, mask, now, actor)
+    ) -> Result<MemResponse> {
+        let max_banks = u32::try_from(mem.num_banks()).unwrap_or(u32::MAX);
+        self.validate(src, dst, mask, max_banks)?;
+        mem.service(&MemRequest::rowclone(src, dst, mask, now, actor))
     }
 }
 
@@ -111,6 +113,7 @@ impl RowCloneEngine {
 mod tests {
     use super::*;
     use impact_core::config::SystemConfig;
+    use impact_memctrl::MemoryController;
 
     fn setup() -> (MemoryController, RowCloneEngine) {
         let cfg = SystemConfig::paper_table2();

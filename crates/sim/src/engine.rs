@@ -1,0 +1,546 @@
+//! The generic simulation core: per-agent clocks, TLBs, page tables and
+//! caches over a pluggable [`MemoryBackend`].
+//!
+//! [`Engine`] owns everything *above* main memory; the backend underneath
+//! it classifies and times every [`MemRequest`] the engine routes down
+//! (demand traffic, memory-side PiM, RowClone, prefetcher and noise
+//! accesses). The paper's Table 2 machine is the instantiation with the
+//! default controller backend — see [`crate::system::System`].
+
+use impact_cache::{CacheHierarchy, HitLevel, IpStridePrefetcher, Prefetcher, StreamerPrefetcher};
+use impact_core::addr::{PhysAddr, VirtAddr, PAGE_SIZE};
+use impact_core::config::SystemConfig;
+use impact_core::engine::{MemRequest, MemoryBackend};
+use impact_core::error::Result;
+use impact_core::time::Cycles;
+use impact_dram::RowBufferKind;
+use impact_pim::pei::{ExecSite, PeiEngine};
+use impact_pim::rowclone::RowCloneEngine;
+
+use crate::memory::{FrameAllocator, PageTable};
+use crate::noise::{NoiseInjector, NOISE_ACTOR};
+use crate::tlb::Tlb;
+
+/// Identifier of a co-simulated agent (thread/process).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct AgentId(pub u32);
+
+/// Simulation-harness timing parameters that are not part of Table 2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SimParams {
+    /// Cost of a serialized `cpuid; rdtscp` measurement pair.
+    pub timer_overhead: Cycles,
+    /// Cost of a `memory_fence` (Listing 1/2 use one per batch).
+    pub fence_overhead: Cycles,
+    /// Cost of one user-space semaphore operation.
+    pub sync_overhead: Cycles,
+    /// Software-stack overhead of one DMA-engine transfer (§5.2.2: context
+    /// switches and OS instructions make the DMA attack ~10× slower than
+    /// IMPACT-PnM).
+    pub dma_overhead: Cycles,
+}
+
+impl Default for SimParams {
+    fn default() -> SimParams {
+        SimParams {
+            timer_overhead: Cycles(8),
+            fence_overhead: Cycles(20),
+            sync_overhead: Cycles(45),
+            dma_overhead: Cycles(1800),
+        }
+    }
+}
+
+/// Result of a cached load/store.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LoadInfo {
+    /// End-to-end latency observed by the agent.
+    pub latency: Cycles,
+    /// Cache level that served the access.
+    pub level: HitLevel,
+    /// Row-buffer classification if the access reached DRAM.
+    pub kind: Option<RowBufferKind>,
+}
+
+/// Result of a PiM-enabled instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PimInfo {
+    /// End-to-end latency observed by the agent.
+    pub latency: Cycles,
+    /// Where the PMU executed the PEI.
+    pub site: ExecSite,
+    /// Row-buffer classification for memory-side execution.
+    pub kind: Option<RowBufferKind>,
+}
+
+/// Result of a masked RowClone.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RowCloneInfo {
+    /// End-to-end latency of the masked operation.
+    pub latency: Cycles,
+    /// Per-bank classifications and latencies.
+    pub per_bank: Vec<(usize, RowBufferKind, Cycles)>,
+}
+
+/// The simulation core, generic over the memory engine underneath it.
+///
+/// See the crate-level docs for the co-simulation model. Most users want
+/// [`crate::system::System`], the instantiation with the default
+/// [`impact_memctrl::MemoryController`] backend.
+pub struct Engine<B: MemoryBackend> {
+    cfg: SystemConfig,
+    params: SimParams,
+    caches: CacheHierarchy,
+    backend: B,
+    pei: PeiEngine,
+    rc: RowCloneEngine,
+    noise: NoiseInjector,
+    ip_prefetcher: IpStridePrefetcher,
+    streamer: StreamerPrefetcher,
+    prefetchers_enabled: bool,
+    clocks: Vec<Cycles>,
+    tlbs: Vec<Tlb>,
+    page_tables: Vec<PageTable>,
+    alloc: FrameAllocator,
+}
+
+impl<B: MemoryBackend> core::fmt::Debug for Engine<B> {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("Engine")
+            .field("agents", &self.clocks.len())
+            .field("banks", &self.backend.num_banks())
+            .field("defense", &self.backend.defense_label())
+            .finish()
+    }
+}
+
+impl<B: MemoryBackend> Engine<B> {
+    /// Builds the engine over an explicit backend.
+    #[must_use]
+    pub fn with_backend(cfg: SystemConfig, params: SimParams, backend: B) -> Engine<B> {
+        Engine {
+            caches: CacheHierarchy::from_config_with_cacti_llc(&cfg),
+            backend,
+            pei: PeiEngine::new(cfg.pim),
+            rc: RowCloneEngine::new(cfg.dram_geometry.row_bytes),
+            noise: NoiseInjector::new(cfg.noise),
+            ip_prefetcher: IpStridePrefetcher::new(64),
+            streamer: StreamerPrefetcher::new(16, 2),
+            prefetchers_enabled: cfg.noise.prefetcher_rate > 0.0 || cfg.noise.ptw_rate > 0.0,
+            clocks: Vec::new(),
+            tlbs: Vec::new(),
+            page_tables: Vec::new(),
+            alloc: FrameAllocator::new(cfg.dram_geometry),
+            cfg,
+            params,
+        }
+    }
+
+    /// Creates a new agent (thread/process) with its own clock, TLB and
+    /// page table.
+    pub fn spawn_agent(&mut self) -> AgentId {
+        let id = AgentId(self.clocks.len() as u32);
+        self.clocks.push(Cycles::ZERO);
+        self.tlbs.push(Tlb::new(self.cfg.tlb));
+        self.page_tables.push(PageTable::new());
+        id
+    }
+
+    /// The system configuration.
+    #[must_use]
+    pub fn config(&self) -> &SystemConfig {
+        &self.cfg
+    }
+
+    /// Harness parameters.
+    #[must_use]
+    pub fn params(&self) -> &SimParams {
+        &self.params
+    }
+
+    /// The memory backend (stats, defense hooks).
+    #[must_use]
+    pub fn backend(&self) -> &B {
+        &self.backend
+    }
+
+    /// Mutable backend access.
+    pub fn backend_mut(&mut self) -> &mut B {
+        &mut self.backend
+    }
+
+    /// Enables or disables the behavioural prefetchers (noise ablation).
+    pub fn set_prefetchers_enabled(&mut self, enabled: bool) {
+        self.prefetchers_enabled = enabled;
+    }
+
+    /// Current clock of `agent`.
+    #[must_use]
+    pub fn now(&self, agent: AgentId) -> Cycles {
+        self.clocks[agent.0 as usize]
+    }
+
+    /// Sets the clock (used by synchronization primitives).
+    pub fn set_now(&mut self, agent: AgentId, t: Cycles) {
+        self.clocks[agent.0 as usize] = t;
+    }
+
+    /// Advances the agent's clock by `d` (compute time).
+    pub fn advance(&mut self, agent: AgentId, d: Cycles) {
+        self.clocks[agent.0 as usize] += d;
+    }
+
+    /// Maximum clock across all agents (total elapsed time).
+    #[must_use]
+    pub fn elapsed(&self) -> Cycles {
+        self.clocks.iter().copied().max().unwrap_or(Cycles::ZERO)
+    }
+
+    /// Emulated serialized timestamp read (`cpuid; rdtscp`).
+    pub fn rdtscp(&mut self, agent: AgentId) -> u64 {
+        self.advance(agent, self.params.timer_overhead);
+        self.now(agent).0
+    }
+
+    /// Emulated memory fence.
+    pub fn fence(&mut self, agent: AgentId) {
+        self.advance(agent, self.params.fence_overhead);
+    }
+
+    // ------------------------------------------------------------------
+    // Memory management
+    // ------------------------------------------------------------------
+
+    /// Allocates one DRAM row in `bank` for `agent` and maps it, returning
+    /// the virtual base address of the row.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`impact_core::Error::MassagingFailed`] when the bank is
+    /// exhausted.
+    pub fn alloc_row_in_bank(&mut self, agent: AgentId, bank: usize) -> Result<VirtAddr> {
+        let pa = self.alloc.alloc_row_in_bank(bank)?;
+        let pages = self.alloc.pages_per_row();
+        Ok(self.map_region(agent, pa, pages))
+    }
+
+    /// Allocates `rotations` physically contiguous bank rotations (each
+    /// rotation = one row in every bank, ascending flat-bank order) and
+    /// maps them, returning the virtual base. This is the allocation the
+    /// IMPACT-PuM sender/receiver use for RowClone ranges.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`impact_core::Error::MassagingFailed`] when the stripe
+    /// region is exhausted.
+    pub fn alloc_bank_stripe(&mut self, agent: AgentId, rotations: u64) -> Result<VirtAddr> {
+        let pa = self.alloc.alloc_bank_stripe(rotations)?;
+        let banks = u64::from(self.cfg.dram_geometry.total_banks());
+        let bytes = rotations * banks * self.cfg.dram_geometry.row_bytes;
+        let pages = bytes / PAGE_SIZE;
+        Ok(self.map_region(agent, pa, pages))
+    }
+
+    fn map_region(&mut self, agent: AgentId, pa: PhysAddr, pages: u64) -> VirtAddr {
+        let pt = &mut self.page_tables[agent.0 as usize];
+        let va = pt.reserve_vspace(pages);
+        for p in 0..pages {
+            pt.map_page(va.page_number() + p, pa.frame_number() + p);
+        }
+        va
+    }
+
+    /// Translates a virtual address for `agent`, charging TLB latency.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`impact_core::Error::UnmappedVirtualAddress`] for unmapped
+    /// pages.
+    pub fn translate(&mut self, agent: AgentId, va: VirtAddr) -> Result<(PhysAddr, Cycles)> {
+        let pa = self.page_tables[agent.0 as usize].translate(va)?;
+        let look = self.tlbs[agent.0 as usize].translate(va.page_number());
+        Ok((pa, look.latency))
+    }
+
+    /// Pre-faults and warms the TLB for `pages` pages starting at `va`
+    /// (the warm-up the paper performs before attacks, §5.2.1).
+    pub fn warm_tlb(&mut self, agent: AgentId, va: VirtAddr, pages: u64) {
+        for p in 0..pages {
+            self.tlbs[agent.0 as usize].warm(va.page_number() + p);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Memory operations
+    // ------------------------------------------------------------------
+
+    /// Cached load through the full hierarchy.
+    ///
+    /// # Errors
+    ///
+    /// Propagates translation and backend errors. On a partition-violation
+    /// (MPR) the clock has already advanced past the lookup; state is
+    /// otherwise untouched.
+    pub fn load(&mut self, agent: AgentId, va: VirtAddr) -> Result<LoadInfo> {
+        self.cached_access(agent, va, false)
+    }
+
+    /// Cached store (write-allocate).
+    ///
+    /// # Errors
+    ///
+    /// As for [`Engine::load`].
+    pub fn store(&mut self, agent: AgentId, va: VirtAddr) -> Result<LoadInfo> {
+        self.cached_access(agent, va, true)
+    }
+
+    fn cached_access(&mut self, agent: AgentId, va: VirtAddr, write: bool) -> Result<LoadInfo> {
+        let (pa, tlb_lat) = self.translate(agent, va)?;
+        let start = self.now(agent) + tlb_lat;
+        let h = if write {
+            self.caches.store(pa)
+        } else {
+            self.caches.load(pa)
+        };
+        let mut latency = tlb_lat + h.latency;
+        let mut kind = None;
+        if h.level == HitLevel::Memory {
+            let req = if write {
+                MemRequest::store(pa, start + h.latency, agent.0)
+            } else {
+                MemRequest::load(pa, start + h.latency, agent.0)
+            };
+            let m = self.backend.service(&req)?;
+            latency += m.latency;
+            kind = Some(m.kind);
+        }
+        // Dirty victims written back to memory perturb bank state but are
+        // off the critical path.
+        for _ in 0..h.writebacks {
+            let _ = self
+                .backend
+                .service(&MemRequest::store(pa, start + latency, agent.0));
+        }
+        self.run_prefetchers(va, pa, h.level == HitLevel::Memory, start + latency);
+        self.noise.perturb(&mut self.backend, start + latency);
+        self.advance(agent, latency);
+        Ok(LoadInfo {
+            latency,
+            level: h.level,
+            kind,
+        })
+    }
+
+    /// Uncached direct memory access (the "direct memory access attack" of
+    /// §3.3 and the DMA-engine data path; the DMA software overhead is
+    /// charged separately by the attack harness).
+    ///
+    /// # Errors
+    ///
+    /// Propagates translation and backend errors.
+    pub fn load_direct(&mut self, agent: AgentId, va: VirtAddr) -> Result<LoadInfo> {
+        let (pa, tlb_lat) = self.translate(agent, va)?;
+        let start = self.now(agent) + tlb_lat;
+        let m = self
+            .backend
+            .service(&MemRequest::load(pa, start, agent.0))?;
+        let latency = tlb_lat + m.latency;
+        self.noise.perturb(&mut self.backend, start + latency);
+        self.advance(agent, latency);
+        Ok(LoadInfo {
+            latency,
+            level: HitLevel::Memory,
+            kind: Some(m.kind),
+        })
+    }
+
+    /// Issues a burst of uncached loads through the backend's batched
+    /// request path (the DMA-engine data path). All requests enter the
+    /// backend when the burst starts — bank queueing orders them — and the
+    /// agent's clock advances past the last completion. Noise perturbs the
+    /// banks once per burst; per-element `latency` excludes the up-front
+    /// TLB charge. This is the amortized alternative to calling
+    /// [`Engine::load_direct`] in a loop.
+    ///
+    /// # Errors
+    ///
+    /// Propagates translation and backend errors; the clock is only
+    /// advanced when the whole burst succeeds.
+    pub fn load_direct_batch(&mut self, agent: AgentId, vas: &[VirtAddr]) -> Result<Vec<LoadInfo>> {
+        if vas.is_empty() {
+            // No accesses happened, so no noise either — a zero-length
+            // burst must leave the simulation state untouched, like a
+            // zero-iteration `load_direct` loop.
+            return Ok(Vec::new());
+        }
+        let mut tlb_total = Cycles::ZERO;
+        let mut pas = Vec::with_capacity(vas.len());
+        for &va in vas {
+            let (pa, tlb_lat) = self.translate(agent, va)?;
+            tlb_total += tlb_lat;
+            pas.push(pa);
+        }
+        let start = self.now(agent) + tlb_total;
+        let reqs: Vec<MemRequest> = pas
+            .into_iter()
+            .map(|pa| MemRequest::load(pa, start, agent.0))
+            .collect();
+        let resps = self.backend.service_batch(&reqs)?;
+        let mut end = start;
+        let infos = resps
+            .into_iter()
+            .map(|m| {
+                end = end.max(m.completed_at);
+                LoadInfo {
+                    latency: m.latency,
+                    level: HitLevel::Memory,
+                    kind: Some(m.kind),
+                }
+            })
+            .collect();
+        self.noise.perturb(&mut self.backend, end);
+        self.set_now(agent, end);
+        Ok(infos)
+    }
+
+    /// Executes `clflush` for a line: invalidates it everywhere; a dirty
+    /// copy pays the write-back to DRAM on the critical path (§3.2).
+    ///
+    /// # Errors
+    ///
+    /// Propagates translation and backend errors.
+    pub fn clflush(&mut self, agent: AgentId, va: VirtAddr) -> Result<Cycles> {
+        let (pa, tlb_lat) = self.translate(agent, va)?;
+        let (probe_lat, dirty) = self.caches.clflush(pa);
+        let mut latency = tlb_lat + probe_lat;
+        if dirty {
+            let wb =
+                self.backend
+                    .service(&MemRequest::store(pa, self.now(agent) + latency, agent.0))?;
+            latency += wb.latency;
+        }
+        self.advance(agent, latency);
+        Ok(latency)
+    }
+
+    /// Executes a PiM-enabled instruction (`pim_add`-style) on `va`,
+    /// letting the PMU locality monitor choose the execution site (§4.1).
+    ///
+    /// # Errors
+    ///
+    /// Propagates translation and backend errors.
+    pub fn pim_op(&mut self, agent: AgentId, va: VirtAddr) -> Result<PimInfo> {
+        let (pa, tlb_lat) = self.translate(agent, va)?;
+        let start = self.now(agent) + tlb_lat;
+        match self.pei.decide(pa) {
+            ExecSite::Host => {
+                // Host-side PCU: PEI overhead + cache path.
+                let h = self.caches.load(pa);
+                let mut latency = tlb_lat + Cycles(self.cfg.pim.pei_overhead_cycles) + h.latency;
+                let mut kind = None;
+                if h.level == HitLevel::Memory {
+                    let m =
+                        self.backend
+                            .service(&MemRequest::load(pa, start + latency, agent.0))?;
+                    latency += m.latency;
+                    kind = Some(m.kind);
+                }
+                self.noise.perturb(&mut self.backend, start + latency);
+                self.advance(agent, latency);
+                Ok(PimInfo {
+                    latency,
+                    site: ExecSite::Host,
+                    kind,
+                })
+            }
+            ExecSite::MemorySide => {
+                let out = self
+                    .pei
+                    .execute_memory_side(&mut self.backend, pa, start, agent.0)?;
+                let latency = tlb_lat + out.latency;
+                self.noise.perturb(&mut self.backend, start + latency);
+                self.advance(agent, latency);
+                Ok(PimInfo {
+                    latency,
+                    site: ExecSite::MemorySide,
+                    kind: out.kind,
+                })
+            }
+        }
+    }
+
+    /// Executes a PiM-enabled instruction with an explicit memory-side
+    /// offload hint, bypassing the PMU locality monitor. This models (i)
+    /// fully offloaded PiM applications (e.g. the read-mapping victim,
+    /// whose seeding is offloaded wholesale, §4.3) and (ii) attackers that
+    /// have already arranged to defeat the monitor.
+    ///
+    /// # Errors
+    ///
+    /// Propagates translation and backend errors.
+    pub fn pim_op_direct(&mut self, agent: AgentId, va: VirtAddr) -> Result<PimInfo> {
+        let (pa, tlb_lat) = self.translate(agent, va)?;
+        let start = self.now(agent) + tlb_lat;
+        let out = self
+            .pei
+            .execute_memory_side(&mut self.backend, pa, start, agent.0)?;
+        let latency = tlb_lat + out.latency;
+        self.noise.perturb(&mut self.backend, start + latency);
+        self.advance(agent, latency);
+        Ok(PimInfo {
+            latency,
+            site: ExecSite::MemorySide,
+            kind: out.kind,
+        })
+    }
+
+    /// Executes a masked RowClone: copies row chunks from the range at
+    /// `src_va` to the range at `dst_va` for every set mask bit (§4.2).
+    /// Both ranges must come from [`Engine::alloc_bank_stripe`] so that
+    /// they are physically contiguous.
+    ///
+    /// # Errors
+    ///
+    /// Propagates translation, validation and backend errors.
+    pub fn rowclone(
+        &mut self,
+        agent: AgentId,
+        src_va: VirtAddr,
+        dst_va: VirtAddr,
+        mask: u64,
+    ) -> Result<RowCloneInfo> {
+        let (src, src_lat) = self.translate(agent, src_va)?;
+        let (dst, dst_lat) = self.translate(agent, dst_va)?;
+        let tlb_lat = src_lat + dst_lat;
+        let start = self.now(agent) + tlb_lat;
+        let out = self
+            .rc
+            .execute(&mut self.backend, src, dst, mask, start, agent.0)?;
+        let latency = tlb_lat + out.latency;
+        self.noise.perturb(&mut self.backend, start + latency);
+        self.advance(agent, latency);
+        Ok(RowCloneInfo {
+            latency,
+            per_bank: out.per_bank,
+        })
+    }
+
+    fn run_prefetchers(&mut self, va: VirtAddr, pa: PhysAddr, missed: bool, now: Cycles) {
+        if !self.prefetchers_enabled {
+            return;
+        }
+        let ip = va.page_number(); // stream id proxy
+        let mut reqs = self.ip_prefetcher.observe(ip, pa, missed);
+        reqs.extend(self.streamer.observe(ip, pa, missed));
+        for r in reqs {
+            // Prefetches fill caches and touch DRAM rows (noise).
+            if self
+                .backend
+                .service(&MemRequest::load(r.addr, now, NOISE_ACTOR))
+                .is_ok()
+            {
+                let _ = self.caches.load(r.addr);
+            }
+        }
+    }
+}

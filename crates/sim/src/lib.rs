@@ -7,6 +7,15 @@
 //! (sender/receiver/victim/attacker threads), each with its own clock,
 //! over shared DRAM state.
 //!
+//! # Architecture
+//!
+//! The core is the generic [`engine::Engine`]`<B: MemoryBackend>`: clocks,
+//! TLBs, page tables, caches and noise over a pluggable memory engine that
+//! serves [`impact_core::engine::MemRequest`]s. [`system::System`] is the
+//! type alias instantiating it with the default
+//! [`impact_memctrl::MemoryController`] backend — the paper's Table 2
+//! machine.
+//!
 //! # Co-simulation model
 //!
 //! Each [`AgentId`] owns a logical clock. Every operation an agent performs
@@ -31,14 +40,16 @@
 //! # Ok::<(), impact_core::Error>(())
 //! ```
 
+pub mod engine;
 pub mod memory;
 pub mod noise;
 pub mod sync;
 pub mod system;
 pub mod tlb;
 
+pub use engine::{AgentId, Engine, LoadInfo, PimInfo, RowCloneInfo, SimParams};
 pub use memory::{FrameAllocator, PageTable};
 pub use noise::NoiseInjector;
 pub use sync::{CoBarrier, CoSemaphore};
-pub use system::{AgentId, LoadInfo, PimInfo, RowCloneInfo, SimParams, System};
+pub use system::System;
 pub use tlb::Tlb;

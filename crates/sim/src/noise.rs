@@ -6,9 +6,9 @@
 //! unrelated rows with configurable probabilities.
 
 use impact_core::config::NoiseConfig;
+use impact_core::engine::MemoryBackend;
 use impact_core::rng::SimRng;
 use impact_core::time::Cycles;
-use impact_memctrl::MemoryController;
 
 /// Actor id used for noise-generated accesses.
 pub const NOISE_ACTOR: u32 = u32::MAX - 1;
@@ -37,26 +37,28 @@ impl NoiseInjector {
     /// With probability `prefetcher_rate` a random row in a random bank is
     /// activated (stream prefetch trained on an unrelated application);
     /// with probability `ptw_rate` a page-table-walk access does the same.
-    /// Injected accesses never fail: they target bank-local rows directly.
-    pub fn perturb(&mut self, mc: &mut MemoryController, now: Cycles) {
+    /// Injected accesses never fail: they target bank-local rows directly
+    /// through the backend's activation hook, bypassing mapping and
+    /// defenses.
+    pub fn perturb<B: MemoryBackend>(&mut self, mem: &mut B, now: Cycles) {
         let total_rate = self.cfg.prefetcher_rate + self.cfg.ptw_rate;
         if total_rate <= 0.0 {
             return;
         }
         if self.rng.chance(self.cfg.prefetcher_rate) {
-            self.activate_random_row(mc, now);
+            self.activate_random_row(mem, now);
         }
         if self.rng.chance(self.cfg.ptw_rate) {
-            self.activate_random_row(mc, now);
+            self.activate_random_row(mem, now);
         }
     }
 
-    fn activate_random_row(&mut self, mc: &mut MemoryController, now: Cycles) {
-        let banks = mc.dram().num_banks() as u64;
-        let rows = mc.dram().geometry().rows_per_bank;
+    fn activate_random_row<B: MemoryBackend>(&mut self, mem: &mut B, now: Cycles) {
+        let banks = mem.num_banks() as u64;
+        let rows = mem.rows_per_bank();
         let bank = self.rng.below(banks) as usize;
         let row = self.rng.below(rows);
-        mc.dram_mut().access_as(bank, row, now, NOISE_ACTOR);
+        mem.inject_row_activation(bank, row, now, NOISE_ACTOR);
         self.events += 1;
     }
 
@@ -77,6 +79,7 @@ impl NoiseInjector {
 mod tests {
     use super::*;
     use impact_core::config::SystemConfig;
+    use impact_memctrl::MemoryController;
 
     #[test]
     fn zero_rate_injects_nothing() {

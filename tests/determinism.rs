@@ -8,6 +8,11 @@ use impact::core::rng::SimRng;
 use impact::sim::System;
 use impact::workloads::graph::Graph;
 use impact::workloads::{kernels, replay};
+use impact_bench::experiments::{
+    fig12_workloads, DefenseOverheadSweep, LlcAxis, LlcCurve, LlcSweep,
+};
+use impact_bench::runner::{series_bits_eq, SweepRunner};
+use impact_bench::Scenario;
 
 #[test]
 fn covert_channel_reports_are_deterministic() {
@@ -97,6 +102,58 @@ fn same_seed_systems_accumulate_identical_stats() {
     };
     assert_eq!(run(41), run(41));
     assert_ne!(run(41).0, run(42).0, "different seeds must diverge");
+}
+
+/// The SweepRunner contract: a sweep executed on one worker thread and on
+/// many produces bit-identical `Series`, for both the ported experiment
+/// families (the analytic LLC sweeps and the System-backed defense
+/// sweeps).
+#[test]
+fn sweep_runner_thread_count_is_invisible() {
+    // Fig. 2/3 curves (analytic, no System).
+    for axis in [LlcAxis::SizeMb, LlcAxis::Ways] {
+        for curve in [LlcCurve::Baseline, LlcCurve::Direct, LlcCurve::Eviction] {
+            let sweep = LlcSweep { axis, curve };
+            let serial = SweepRunner::new(1).run(&sweep);
+            for threads in [2, 8] {
+                let parallel = SweepRunner::new(threads).run(&sweep);
+                assert!(
+                    series_bits_eq(&serial, &parallel),
+                    "LLC sweep {axis:?}/{curve:?} diverged at {threads} threads"
+                );
+            }
+        }
+    }
+
+    // Fig. 12 curves: one full seeded System replay per sweep point.
+    let workloads = fig12_workloads(true);
+    for defense in [
+        None,
+        Some(impact::memctrl::Defense::Ctd),
+        Some(impact::memctrl::Defense::Act(
+            impact::memctrl::ActConfig::aggressive(),
+        )),
+    ] {
+        let sweep = DefenseOverheadSweep {
+            workloads: &workloads,
+            defense,
+            baseline: &[],
+        };
+        let serial = SweepRunner::new(1).run(&sweep);
+        for threads in [2, 8] {
+            let parallel = SweepRunner::new(threads).run(&sweep);
+            assert!(
+                series_bits_eq(&serial, &parallel),
+                "defense sweep `{}` diverged at {threads} threads",
+                serial.name
+            );
+        }
+        // `run_verified` encodes the same assertion inside the runner.
+        let verified = SweepRunner::new(4).run_verified(&sweep);
+        assert!(series_bits_eq(&serial, &verified));
+        // And the Scenario's own serial entry point agrees.
+        assert!(series_bits_eq(&serial, &sweep.run()));
+    }
 }
 
 #[test]

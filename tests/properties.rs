@@ -10,10 +10,12 @@ use impact::core::addr::PhysAddr;
 use impact::core::config::{
     CacheLevelConfig, DramGeometry, DramTiming, ReplacementKind, SystemConfig,
 };
+use impact::core::engine::{MemRequest, RowBufferKind};
 use impact::core::time::{Clock, Cycles};
 use impact::dram::{AddressMapping, Bank, ResolvedTiming, RowInterleaved, RowPolicy};
 use impact::genomics::align::{banded_align, AlignParams};
 use impact::genomics::chain::{chain_anchors, Anchor};
+use impact::memctrl::MemoryController;
 use impact::sim::System;
 
 fn timing() -> ResolvedTiming {
@@ -140,5 +142,62 @@ proptest! {
         let r = ch.transmit(&mut sys, &message).unwrap();
         prop_assert_eq!(r.bit_errors, 0);
         prop_assert_eq!(r.bits_sent, message.len() as u64);
+    }
+
+    /// MemRequest round-trip through `Engine::translate` + backend
+    /// classification: the same VA translated twice yields the same
+    /// physical address, and servicing it twice lands in the same
+    /// (bank, row) — with the allocated bank — under the no-defense
+    /// config. The second request must hit the row the first one opened.
+    #[test]
+    fn mem_request_translation_roundtrip(
+        bank in 0usize..16,
+        off in 0u64..128,
+        at in 0u64..1_000_000,
+    ) {
+        let mut sys = System::new(SystemConfig::paper_table2_noiseless());
+        let agent = sys.spawn_agent();
+        let va = sys.alloc_row_in_bank(agent, bank).unwrap() + off * 64;
+        let (pa1, _) = sys.translate(agent, va).unwrap();
+        let (pa2, _) = sys.translate(agent, va).unwrap();
+        prop_assert_eq!(pa1, pa2, "translation must be stable");
+        let r1 = sys
+            .memctrl_mut()
+            .service(&MemRequest::load(pa1, Cycles(at), agent.0))
+            .unwrap();
+        let r2 = sys
+            .memctrl_mut()
+            .service(&MemRequest::load(pa2, r1.completed_at, agent.0))
+            .unwrap();
+        prop_assert_eq!(r1.bank, bank, "mapped to the allocated bank");
+        prop_assert_eq!(r1.bank, r2.bank);
+        prop_assert_eq!(r1.row, r2.row);
+        prop_assert_eq!(r2.kind, RowBufferKind::Hit);
+    }
+
+    /// The amortized batched request path is bit-identical to serial
+    /// servicing for arbitrary request streams (no defense installed).
+    #[test]
+    fn service_batch_matches_serial_for_any_stream(
+        stream in prop::collection::vec((0usize..16, 0u64..64, 0u32..4), 1..60)
+    ) {
+        let cfg = SystemConfig::paper_table2();
+        let mut batched = MemoryController::from_config(&cfg);
+        let mut serial = MemoryController::from_config(&cfg);
+        let reqs: Vec<MemRequest> = stream
+            .iter()
+            .enumerate()
+            .map(|(i, &(bank, row, actor))| {
+                let addr = batched.mapping().compose(bank, row, 0);
+                MemRequest::load(addr, Cycles(i as u64 * 500), actor)
+            })
+            .collect();
+        let out_batched = batched.service_batch(&reqs).unwrap();
+        let out_serial: Vec<_> = reqs
+            .iter()
+            .map(|r| serial.service(r).unwrap())
+            .collect();
+        prop_assert_eq!(out_batched, out_serial);
+        prop_assert_eq!(batched.stats(), serial.stats());
     }
 }
