@@ -30,9 +30,10 @@
 
 use impact_cache::cacti;
 use impact_core::addr::VirtAddr;
+use impact_core::engine::MemoryBackend;
 use impact_core::error::Result;
 use impact_core::time::Cycles;
-use impact_sim::{AgentId, CoBarrier, System};
+use impact_sim::{AgentId, CoBarrier, Engine};
 
 use crate::channel::{BitObservation, ChannelReport};
 
@@ -93,7 +94,10 @@ impl BaselineChannel {
     /// # Errors
     ///
     /// Propagates allocation/access errors.
-    pub fn setup(sys: &mut System, primitive: BaselinePrimitive) -> Result<BaselineChannel> {
+    pub fn setup<B: MemoryBackend>(
+        sys: &mut Engine<B>,
+        primitive: BaselinePrimitive,
+    ) -> Result<BaselineChannel> {
         let sender = sys.spawn_agent();
         let receiver = sys.spawn_agent();
         let sender_row = sys.alloc_row_in_bank(sender, 0)?;
@@ -132,7 +136,12 @@ impl BaselineChannel {
     }
 
     /// Bypasses the cached copy of `row` for `agent` and returns the cost.
-    fn bypass(&self, sys: &mut System, agent: AgentId, row: VirtAddr) -> Result<()> {
+    fn bypass<B: MemoryBackend>(
+        &self,
+        sys: &mut Engine<B>,
+        agent: AgentId,
+        row: VirtAddr,
+    ) -> Result<()> {
         match self.primitive {
             BaselinePrimitive::Clflush => {
                 sys.clflush(agent, row)?;
@@ -154,7 +163,12 @@ impl BaselineChannel {
     }
 
     /// Loads `row` for `agent` through the primitive's data path.
-    fn access(&self, sys: &mut System, agent: AgentId, row: VirtAddr) -> Result<()> {
+    fn access<B: MemoryBackend>(
+        &self,
+        sys: &mut Engine<B>,
+        agent: AgentId,
+        row: VirtAddr,
+    ) -> Result<()> {
         match self.primitive {
             BaselinePrimitive::Clflush | BaselinePrimitive::Eviction => {
                 sys.load(agent, row)?;
@@ -168,7 +182,7 @@ impl BaselineChannel {
 
     /// Measures known-hit and known-conflict latencies and sets the
     /// threshold to their midpoint.
-    fn calibrate(&mut self, sys: &mut System) -> Result<()> {
+    fn calibrate<B: MemoryBackend>(&mut self, sys: &mut Engine<B>) -> Result<()> {
         let barrier = CoBarrier::new(Cycles(10));
         let mut hits = Vec::new();
         let mut conflicts = Vec::new();
@@ -190,7 +204,7 @@ impl BaselineChannel {
         Ok(())
     }
 
-    fn timed_probe(&self, sys: &mut System) -> Result<u64> {
+    fn timed_probe<B: MemoryBackend>(&self, sys: &mut Engine<B>) -> Result<u64> {
         self.bypass(sys, self.receiver, self.receiver_row)?;
         let t0 = sys.rdtscp(self.receiver);
         self.access(sys, self.receiver, self.receiver_row)?;
@@ -203,7 +217,11 @@ impl BaselineChannel {
     /// # Errors
     ///
     /// Propagates simulator errors.
-    pub fn transmit(&mut self, sys: &mut System, message: &[bool]) -> Result<ChannelReport> {
+    pub fn transmit<B: MemoryBackend>(
+        &mut self,
+        sys: &mut Engine<B>,
+        message: &[bool],
+    ) -> Result<ChannelReport> {
         let barrier = CoBarrier::new(Cycles(10));
         let both = [self.sender, self.receiver];
         let start_s = sys.now(self.sender);
@@ -258,6 +276,7 @@ mod tests {
     use super::*;
     use impact_core::config::SystemConfig;
     use impact_core::rng::SimRng;
+    use impact_sim::System;
 
     fn sys() -> System {
         System::new(SystemConfig::paper_table2_noiseless())

@@ -17,9 +17,10 @@
 //! unmeasured re-initialization) when the row's lines are exhausted.
 
 use impact_core::addr::{VirtAddr, LINE_SIZE};
+use impact_core::engine::MemoryBackend;
 use impact_core::error::Result;
 use impact_core::time::Cycles;
-use impact_sim::{AgentId, CoSemaphore, System};
+use impact_sim::{AgentId, CoSemaphore, Engine};
 
 use crate::channel::{BitObservation, ChannelReport, PAPER_THRESHOLD_CYCLES};
 
@@ -56,6 +57,7 @@ pub struct PnmCovertChannel {
     /// are subtracted before decoding.
     rfm_filter: Option<(u64, u64)>,
     trace: bool,
+    batched: bool,
 }
 
 impl PnmCovertChannel {
@@ -67,7 +69,7 @@ impl PnmCovertChannel {
     ///
     /// Propagates allocation/access errors (e.g. when a defense such as
     /// MPR denies co-location).
-    pub fn setup(sys: &mut System, banks: usize) -> Result<PnmCovertChannel> {
+    pub fn setup<B: MemoryBackend>(sys: &mut Engine<B>, banks: usize) -> Result<PnmCovertChannel> {
         let sender = sys.spawn_agent();
         let receiver = sys.spawn_agent();
         let lines_per_row = sys.config().dram_geometry.row_bytes / LINE_SIZE;
@@ -99,6 +101,7 @@ impl PnmCovertChannel {
             threshold: PAPER_THRESHOLD_CYCLES,
             rfm_filter: None,
             trace: false,
+            batched: true,
         };
         ch.initialize_receiver_rows(sys)?;
         Ok(ch)
@@ -107,6 +110,15 @@ impl PnmCovertChannel {
     /// Enables per-bit observation tracing (Fig. 8).
     pub fn set_trace(&mut self, trace: bool) {
         self.trace = trace;
+    }
+
+    /// Selects the receiver probe path: `true` (default) issues each
+    /// batch's probes through [`Engine::pim_probe_burst`], which services
+    /// them in one amortized backend batch when provably equivalent;
+    /// `false` keeps the per-probe reference loop. Both are bit-identical
+    /// (asserted by `batched_transmit_is_bit_identical`).
+    pub fn set_batched(&mut self, batched: bool) {
+        self.batched = batched;
     }
 
     /// Overrides the decode threshold (default: the paper's 150 cycles).
@@ -136,16 +148,25 @@ impl PnmCovertChannel {
     }
 
     /// Step 1: open the receiver's current row in every bank (unmeasured).
-    fn initialize_receiver_rows(&mut self, sys: &mut System) -> Result<()> {
-        for bank in 0..self.banks {
-            sys.pim_op_direct(self.receiver, self.receiver_rows[bank].row)?;
+    fn initialize_receiver_rows<B: MemoryBackend>(&mut self, sys: &mut Engine<B>) -> Result<()> {
+        let rows: Vec<VirtAddr> = (0..self.banks).map(|b| self.receiver_rows[b].row).collect();
+        if self.batched {
+            sys.pim_open_burst(self.receiver, &rows)?;
+        } else {
+            for row in rows {
+                sys.pim_op_direct(self.receiver, row)?;
+            }
         }
         Ok(())
     }
 
     /// Advances a side's cursor in `bank`, rotating to a fresh row when
     /// the current one is exhausted. Receiver rotations re-initialize.
-    fn sender_line(&mut self, sys: &mut System, bank: usize) -> Result<VirtAddr> {
+    fn sender_line<B: MemoryBackend>(
+        &mut self,
+        sys: &mut Engine<B>,
+        bank: usize,
+    ) -> Result<VirtAddr> {
         if let Some(va) = self.sender_rows[bank].next_line() {
             return Ok(va);
         }
@@ -163,7 +184,10 @@ impl PnmCovertChannel {
     /// lines is replaced by a new row in the same bank and re-initialized
     /// *before* the sender's next batch, so the rotation never masks the
     /// sender's interference.
-    fn rotate_exhausted_receiver_rows(&mut self, sys: &mut System) -> Result<()> {
+    fn rotate_exhausted_receiver_rows<B: MemoryBackend>(
+        &mut self,
+        sys: &mut Engine<B>,
+    ) -> Result<()> {
         for bank in 0..self.banks {
             if self.receiver_rows[bank].line >= self.receiver_rows[bank].lines_per_row {
                 let row = sys.alloc_row_in_bank(self.receiver, bank)?;
@@ -185,7 +209,11 @@ impl PnmCovertChannel {
     /// # Errors
     ///
     /// Propagates simulator errors.
-    pub fn transmit(&mut self, sys: &mut System, message: &[bool]) -> Result<ChannelReport> {
+    pub fn transmit<B: MemoryBackend>(
+        &mut self,
+        sys: &mut Engine<B>,
+        message: &[bool],
+    ) -> Result<ChannelReport> {
         let sync = sys.params().sync_overhead;
         let mut data_sem = CoSemaphore::new(sync);
         let mut ready_sem = CoSemaphore::new(sync);
@@ -220,14 +248,33 @@ impl PnmCovertChannel {
             // --- Receiver: Step 3 ---
             data_sem.wait(sys, self.receiver);
             let r_begin = sys.now(self.receiver);
-            for (bank, &bit) in batch.iter().enumerate() {
-                let probe_va = self.receiver_rows[bank]
-                    .next_line()
-                    .expect("rotation maintenance keeps lines available");
-                let t0 = sys.rdtscp(self.receiver);
-                sys.pim_op(self.receiver, probe_va)?;
-                let t1 = sys.rdtscp(self.receiver);
-                let mut measured = t1 - t0;
+            // One fresh probe line per bank; collecting them up front is
+            // invisible to the simulation (cursor state only).
+            let probe_vas: Vec<VirtAddr> = (0..batch.len())
+                .map(|bank| {
+                    self.receiver_rows[bank]
+                        .next_line()
+                        .expect("rotation maintenance keeps lines available")
+                })
+                .collect();
+            // The probe hot loop: a burst through the backend's batched
+            // request path (or the per-probe reference loop), bit-identical
+            // either way.
+            let mut samples = Vec::with_capacity(probe_vas.len());
+            if self.batched {
+                for probe in sys.pim_probe_burst(self.receiver, &probe_vas)? {
+                    samples.push(probe.measured);
+                }
+            } else {
+                for &probe_va in &probe_vas {
+                    let t0 = sys.rdtscp(self.receiver);
+                    sys.pim_op(self.receiver, probe_va)?;
+                    let t1 = sys.rdtscp(self.receiver);
+                    samples.push(t1 - t0);
+                }
+            }
+            for (bank, (&bit, &raw)) in batch.iter().zip(&samples).enumerate() {
+                let mut measured = raw;
                 if let Some((trigger, subtract)) = self.rfm_filter {
                     if measured > trigger {
                         measured = measured.saturating_sub(subtract);
@@ -271,6 +318,7 @@ mod tests {
     use crate::channel::message_from_str;
     use impact_core::config::SystemConfig;
     use impact_core::rng::SimRng;
+    use impact_sim::System;
 
     fn sys() -> System {
         System::new(SystemConfig::paper_table2_noiseless())
@@ -363,6 +411,88 @@ mod tests {
         s.set_defense(Defense::Mpr(p));
         let r = PnmCovertChannel::setup(&mut s, 16);
         assert!(r.is_err());
+    }
+
+    /// The batched receiver loop is bit-identical to the per-probe
+    /// reference loop — the contract of the `Engine` burst port — in
+    /// noiseless configs (fast path), noisy configs (serial fallback) and
+    /// under defenses and periodic blocking.
+    #[test]
+    fn batched_transmit_is_bit_identical() {
+        use impact_memctrl::{ActConfig, Defense, PeriodicBlock};
+        type Configure = Box<dyn Fn(&mut System)>;
+        let configs: Vec<(&str, Configure)> = vec![
+            ("noiseless", Box::new(|_: &mut System| {})),
+            (
+                "noisy",
+                Box::new(|s: &mut System| {
+                    *s = System::new(SystemConfig::paper_table2());
+                }),
+            ),
+            (
+                "ctd",
+                Box::new(|s: &mut System| s.set_defense(Defense::Ctd)),
+            ),
+            (
+                "act",
+                Box::new(|s: &mut System| {
+                    s.set_defense(Defense::Act(ActConfig::aggressive()));
+                }),
+            ),
+            (
+                "rfm",
+                Box::new(|s: &mut System| {
+                    s.set_periodic_block(Some(PeriodicBlock::rfm_paper_default()));
+                }),
+            ),
+        ];
+        let msg = SimRng::seed(29).bits(512);
+        for (name, configure) in configs {
+            let run = |batched: bool| {
+                let mut s = sys();
+                configure(&mut s);
+                let mut ch = PnmCovertChannel::setup(&mut s, 16).unwrap();
+                ch.set_batched(batched);
+                ch.set_trace(true);
+                let r = ch.transmit(&mut s, &msg).unwrap();
+                (r, s.elapsed(), s.memctrl().stats().clone())
+            };
+            let (br, belapsed, bstats) = run(true);
+            let (sr, selapsed, sstats) = run(false);
+            assert_eq!(br, sr, "report diverged under {name}");
+            assert_eq!(belapsed, selapsed, "clock diverged under {name}");
+            assert_eq!(bstats, sstats, "backend stats diverged under {name}");
+        }
+    }
+
+    /// On the sharded and traced backends the channel behaves exactly as
+    /// on the monolithic controller.
+    #[test]
+    fn transmit_matches_across_backends() {
+        use impact_sim::{ShardedSystem, TracedSystem};
+        let msg = SimRng::seed(31).bits(256);
+        let cfg = SystemConfig::paper_table2_noiseless;
+        let mut mono_sys = sys();
+        let mut mono_ch = PnmCovertChannel::setup(&mut mono_sys, 16).unwrap();
+        let mono = mono_ch.transmit(&mut mono_sys, &msg).unwrap();
+
+        let mut sh_sys = ShardedSystem::sharded(cfg(), 4);
+        let mut sh_ch = PnmCovertChannel::setup(&mut sh_sys, 16).unwrap();
+        assert_eq!(sh_ch.transmit(&mut sh_sys, &msg).unwrap(), mono);
+
+        let mut tr_sys = TracedSystem::traced(cfg());
+        let mut tr_ch = PnmCovertChannel::setup(&mut tr_sys, 16).unwrap();
+        assert_eq!(tr_ch.transmit(&mut tr_sys, &msg).unwrap(), mono);
+        // The hot loop really went through the batched path: the log
+        // contains one batch event per transmitted chunk plus the
+        // initialization burst.
+        use impact_core::trace::TraceEvent;
+        let batches = tr_sys
+            .trace_log()
+            .iter()
+            .filter(|e| matches!(e, TraceEvent::Batch(_)))
+            .count();
+        assert!(batches > msg.len() / 16, "only {batches} batch events");
     }
 
     #[test]

@@ -13,9 +13,10 @@
 //! the copy is fast (⇒ 0). Each receiver probe swaps the copy direction so
 //! its own source row is always the one left open by its previous probe.
 
+use impact_core::engine::MemoryBackend;
 use impact_core::error::Result;
 use impact_core::time::Cycles;
-use impact_sim::{AgentId, CoSemaphore, System};
+use impact_sim::{AgentId, CoSemaphore, Engine};
 
 use crate::channel::{BitObservation, ChannelReport, PAPER_THRESHOLD_CYCLES};
 use impact_core::addr::VirtAddr;
@@ -47,7 +48,7 @@ impl PumCovertChannel {
     /// Propagates allocation/validation errors, and
     /// [`impact_core::Error::InvalidConfig`] if `banks` exceeds 64 or the
     /// device bank count.
-    pub fn setup(sys: &mut System, banks: usize) -> Result<PumCovertChannel> {
+    pub fn setup<B: MemoryBackend>(sys: &mut Engine<B>, banks: usize) -> Result<PumCovertChannel> {
         let device_banks = sys.config().dram_geometry.total_banks() as usize;
         if banks == 0 || banks > 64 || banks > device_banks {
             return Err(impact_core::Error::InvalidConfig(format!(
@@ -117,7 +118,11 @@ impl PumCovertChannel {
     /// # Errors
     ///
     /// Propagates simulator errors.
-    pub fn transmit(&mut self, sys: &mut System, message: &[bool]) -> Result<ChannelReport> {
+    pub fn transmit<B: MemoryBackend>(
+        &mut self,
+        sys: &mut Engine<B>,
+        message: &[bool],
+    ) -> Result<ChannelReport> {
         let sync = sys.params().sync_overhead;
         let mut data_sem = CoSemaphore::new(sync);
         let mut ready_sem = CoSemaphore::new(sync);
@@ -197,6 +202,7 @@ mod tests {
     use crate::channel::message_from_str;
     use impact_core::config::SystemConfig;
     use impact_core::rng::SimRng;
+    use impact_sim::System;
 
     fn sys() -> System {
         System::new(SystemConfig::paper_table2_noiseless())

@@ -27,7 +27,8 @@
 
 use std::collections::BTreeSet;
 
-use impact_core::addr::{VirtAddr, LINE_SIZE};
+use impact_core::addr::{PhysAddr, VirtAddr, LINE_SIZE};
+use impact_core::engine::MemoryBackend;
 use impact_core::error::Result;
 use impact_core::rng::SimRng;
 use impact_core::time::Cycles;
@@ -35,7 +36,7 @@ use impact_genomics::genome::{Genome, ReadSampler};
 use impact_genomics::imputation::{score_rounds, LeakScore};
 use impact_genomics::index::{BankLayout, KmerIndex};
 use impact_genomics::mapper::{ReadMapper, RecordingObserver};
-use impact_sim::System;
+use impact_sim::Engine;
 
 /// Configuration of the side-channel experiment.
 #[derive(Debug, Clone)]
@@ -66,6 +67,11 @@ pub struct SideChannelConfig {
     pub threshold: u64,
     /// Master seed.
     pub seed: u64,
+    /// Issue the attacker's row-opening initialization sweep through the
+    /// backend's batched request path (default) instead of one probe at a
+    /// time. Bit-identical either way; see
+    /// [`Engine::pim_open_burst_translated`].
+    pub batched_probes: bool,
 }
 
 impl Default for SideChannelConfig {
@@ -82,6 +88,7 @@ impl Default for SideChannelConfig {
             background_rate: 2.5e-9,
             threshold: crate::channel::PAPER_THRESHOLD_CYCLES,
             seed: 0xD5A,
+            batched_probes: true,
         }
     }
 }
@@ -163,7 +170,7 @@ impl SideChannelAttack {
     /// # Errors
     ///
     /// Propagates simulator errors.
-    pub fn run(&self, sys: &mut System) -> Result<SideChannelReport> {
+    pub fn run<B: MemoryBackend>(&self, sys: &mut Engine<B>) -> Result<SideChannelReport> {
         let banks = sys.config().dram_geometry.total_banks() as usize;
         let layout = BankLayout::new(banks, self.cfg.table_buckets, 0);
 
@@ -190,13 +197,39 @@ impl SideChannelAttack {
         let attacker = sys.spawn_agent();
         let mut victim_rows: Vec<Option<VirtAddr>> = vec![None; banks];
         let mut attacker_rows: Vec<VirtAddr> = Vec::with_capacity(banks);
-        for bank in 0..banks {
-            let row = sys.alloc_row_in_bank(attacker, bank)?;
-            sys.warm_tlb(attacker, row, 2);
-            attacker_rows.push(row);
-            // Open the attacker's row everywhere (initialization sweep).
-            sys.pim_op_direct(attacker, row)?;
+        // Open the attacker's row everywhere (initialization sweep). The
+        // batched path keeps the serial allocate/warm/translate order per
+        // bank — only the DRAM row openings are deferred into one burst —
+        // so TLB and allocator state evolve exactly as in the serial
+        // sweep, and the burst itself is bit-identical by the `Engine`
+        // burst contract.
+        if self.cfg.batched_probes {
+            let mut probes: Vec<(PhysAddr, Cycles)> = Vec::with_capacity(banks);
+            for bank in 0..banks {
+                let row = sys.alloc_row_in_bank(attacker, bank)?;
+                sys.warm_tlb(attacker, row, 2);
+                attacker_rows.push(row);
+                probes.push(sys.translate(attacker, row)?);
+            }
+            sys.pim_open_burst_translated(attacker, &probes)?;
+        } else {
+            for bank in 0..banks {
+                let row = sys.alloc_row_in_bank(attacker, bank)?;
+                sys.warm_tlb(attacker, row, 2);
+                attacker_rows.push(row);
+                sys.pim_op_direct(attacker, row)?;
+            }
         }
+
+        // The measured phase starts with both threads synchronized (the
+        // harness barrier after initialization): the victim's first
+        // lookups happen once the attacker's rows are open, so the
+        // initialization sweep's transient bank-busy times are not
+        // observable — which is also what makes the batched and serial
+        // init sweeps indistinguishable from here on.
+        let sync_at = sys.now(victim).max(sys.now(attacker));
+        sys.set_now(victim, sync_at);
+        sys.set_now(attacker, sync_at);
 
         // --- Interleaved co-simulation ---
         let mut bg_rng = SimRng::seed(self.cfg.seed ^ 0x6A6E);
@@ -241,7 +274,7 @@ impl SideChannelAttack {
                 let p_bg = 1.0 - (-self.cfg.background_rate * dt).exp();
                 if bg_rng.chance(p_bg) {
                     let noise_row = 1000 + bg_rng.below(1000);
-                    sys.memctrl_mut().dram_mut().access_as(
+                    sys.backend_mut().inject_row_activation(
                         bank,
                         noise_row,
                         now,
@@ -296,6 +329,7 @@ impl SideChannelAttack {
 mod tests {
     use super::*;
     use impact_core::config::SystemConfig;
+    use impact_sim::System;
 
     fn run_with_banks(banks: u32) -> (SideChannelReport, f64, f64) {
         let cfg = SystemConfig::paper_table2_noiseless().with_total_banks(banks);
@@ -344,12 +378,63 @@ mod tests {
         // Very few detections relative to a real run.
         assert!(r.victim_accesses < 200);
     }
+
+    /// The batched initialization sweep is bit-identical to the serial
+    /// one: same detections, same timing, same backend state.
+    #[test]
+    fn batched_init_is_bit_identical() {
+        let run = |batched: bool| {
+            let cfg = SystemConfig::paper_table2_noiseless().with_total_banks(1024);
+            let mut sys = System::new(cfg);
+            let attack = SideChannelAttack::new(SideChannelConfig {
+                reads: 20,
+                batched_probes: batched,
+                ..SideChannelConfig::default()
+            });
+            let r = attack.run(&mut sys).unwrap();
+            (
+                r.score.true_positives,
+                r.score.false_positives,
+                r.score.false_negatives,
+                r.probes,
+                r.victim_accesses,
+                r.elapsed,
+                r.leaked_bits.to_bits(),
+                sys.memctrl().stats().clone(),
+                sys.dram_totals(),
+            )
+        };
+        assert_eq!(run(true), run(false));
+    }
+
+    /// The attack runs identically on the sharded backend.
+    #[test]
+    fn runs_identically_on_sharded_backend() {
+        use impact_sim::ShardedSystem;
+        let cfg = || SystemConfig::paper_table2_noiseless().with_total_banks(1024);
+        let attack = || {
+            SideChannelAttack::new(SideChannelConfig {
+                reads: 20,
+                ..SideChannelConfig::default()
+            })
+        };
+        let mut mono_sys = System::new(cfg());
+        let mono = attack().run(&mut mono_sys).unwrap();
+        let mut sh_sys = ShardedSystem::sharded(cfg(), 8);
+        let sharded = attack().run(&mut sh_sys).unwrap();
+        assert_eq!(mono.score.true_positives, sharded.score.true_positives);
+        assert_eq!(mono.score.false_positives, sharded.score.false_positives);
+        assert_eq!(mono.score.false_negatives, sharded.score.false_negatives);
+        assert_eq!(mono.elapsed, sharded.elapsed);
+        assert_eq!(mono_sys.dram_totals(), sh_sys.dram_totals());
+    }
 }
 
 #[cfg(test)]
 mod debug_tests {
     use super::*;
     use impact_core::config::SystemConfig;
+    use impact_sim::System;
 
     #[test]
     #[ignore]

@@ -100,6 +100,54 @@ fn bench_memctrl_batch(c: &mut Criterion) {
                 .sum::<u64>()
         });
     });
+    // The sharded controller over the same 64-request batch — compare
+    // against `memctrl/service_batch_64` (same stream, monolithic
+    // controller) for the sharding overhead/benefit.
+    c.bench_function("memctrl/sharded_vs_mono_64", |b| {
+        use impact_core::engine::MemoryBackend;
+        let mut sc = impact_memctrl::ShardedController::from_config(&cfg, 4);
+        let probe = impact_memctrl::MemoryController::from_config(&cfg);
+        let reqs = make_reqs(&probe);
+        b.iter(|| {
+            MemoryBackend::service_batch(&mut sc, &reqs)
+                .expect("batch")
+                .iter()
+                .map(|r| r.latency.0)
+                .sum::<u64>()
+        });
+    });
+}
+
+/// The IMPACT-PnM transmit hot loop, batched (receiver probes through one
+/// `service_batch` burst per 16-bit chunk) vs the per-probe reference
+/// loop. Bit-identical outputs; the delta is pure simulator speed.
+fn bench_pnm_transmit(c: &mut Criterion) {
+    use impact_attacks::PnmCovertChannel;
+    use impact_core::rng::SimRng;
+    let message = SimRng::seed(0xBE9C).bits(512);
+    c.bench_function("attacks/pnm_transmit_batched", |b| {
+        b.iter_batched(
+            || {
+                let mut sys = System::new(SystemConfig::paper_table2_noiseless());
+                let ch = PnmCovertChannel::setup(&mut sys, 16).expect("setup");
+                (sys, ch)
+            },
+            |(mut sys, mut ch)| ch.transmit(&mut sys, &message).expect("transmit").elapsed,
+            BatchSize::SmallInput,
+        );
+    });
+    c.bench_function("attacks/pnm_transmit_serial", |b| {
+        b.iter_batched(
+            || {
+                let mut sys = System::new(SystemConfig::paper_table2_noiseless());
+                let mut ch = PnmCovertChannel::setup(&mut sys, 16).expect("setup");
+                ch.set_batched(false);
+                (sys, ch)
+            },
+            |(mut sys, mut ch)| ch.transmit(&mut sys, &message).expect("transmit").elapsed,
+            BatchSize::SmallInput,
+        );
+    });
 }
 
 fn bench_system(c: &mut Criterion) {
@@ -172,6 +220,7 @@ criterion_group!(
     bench_dram,
     bench_cache,
     bench_memctrl_batch,
+    bench_pnm_transmit,
     bench_system,
     bench_genomics,
     bench_workloads

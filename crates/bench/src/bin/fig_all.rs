@@ -1,38 +1,28 @@
 //! Regenerates the paper's tables and figures on the command line.
 //!
 //! ```text
-//! fig_all                 # run everything (full sizes)
-//! fig_all --quick         # run everything (reduced sizes)
-//! fig_all fig9 fig11      # run selected experiments
-//! fig_all --csv fig2      # CSV output instead of text
+//! fig_all                       # run everything (full sizes)
+//! fig_all --quick               # run everything (reduced sizes)
+//! fig_all fig9 fig11            # run selected experiments
+//! fig_all --csv fig2            # CSV output instead of text
+//! fig_all --jobs 4              # shard experiments over 4 worker threads
+//! fig_all --backend sharded:4   # run on a sharded memory backend
+//! fig_all --backend traced      # ... or behind a tracing proxy
 //! ```
+//!
+//! With `--jobs N` (or `--jobs auto`) the suite is sharded across worker
+//! threads by [`SweepRunner::run_all`]; progress and partial results
+//! stream to stderr as experiments complete, and the rendered output is
+//! printed in suite order at the end — bit-identical to a serial run.
 
 use std::env;
 
 use impact_bench::experiments;
-use impact_bench::Figure;
+use impact_bench::runner::{ExperimentJob, RunAllEvent};
+use impact_bench::{Figure, SweepRunner};
+use impact_sim::BackendKind;
 
-fn run_one(id: &str, quick: bool) -> Option<Figure> {
-    let fig = match id {
-        "delta" => experiments::delta(),
-        "table1" => experiments::table1(),
-        "table2" => experiments::table2(),
-        "fig2" => experiments::fig2(),
-        "fig3" => experiments::fig3(),
-        "fig8" => experiments::fig8(),
-        "fig9" => experiments::fig9(if quick { 512 } else { 2048 }),
-        "fig10" => experiments::fig10(),
-        "fig11" => experiments::fig11(if quick { 40 } else { 120 }),
-        "fig12" => experiments::fig12(quick),
-        "ablations" => experiments::ablations(quick),
-        "future_banks" => experiments::future_banks(if quick { 512 } else { 2048 }),
-        "rfm" => experiments::rfm_filtering(if quick { 512 } else { 2048 }),
-        _ => return None,
-    };
-    Some(fig)
-}
-
-const ALL: [&str; 12] = [
+const ALL: [&str; 13] = [
     "delta",
     "table1",
     "table2",
@@ -45,38 +35,133 @@ const ALL: [&str; 12] = [
     "fig12",
     "ablations",
     "future_banks",
+    "rfm",
 ];
+
+fn usage_exit(msg: &str) -> ! {
+    eprintln!("{msg}");
+    eprintln!(
+        "usage: fig_all [--quick] [--csv] [--jobs N|auto] [--backend mono|sharded[:N]|traced] [EXPERIMENT...]"
+    );
+    eprintln!("experiments: {}", ALL.join(", "));
+    std::process::exit(2);
+}
+
+fn render(fig: &Figure, csv: bool) {
+    if csv {
+        println!("# {}", fig.id);
+        print!("{}", fig.render_csv());
+    } else {
+        print!("{}", fig.render_text());
+    }
+    println!();
+}
 
 fn main() {
     let args: Vec<String> = env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
     let csv = args.iter().any(|a| a == "--csv");
-    let selected: Vec<&str> = args
-        .iter()
-        .filter(|a| !a.starts_with("--"))
-        .map(String::as_str)
-        .collect();
-    let ids: Vec<&str> = if selected.is_empty() {
-        ALL.to_vec()
-    } else {
-        selected
+
+    let flag_value = |flag: &str| -> Option<String> {
+        args.iter()
+            .position(|a| a == flag)
+            .map(|i| match args.get(i + 1) {
+                Some(v) if !v.starts_with("--") => v.clone(),
+                _ => usage_exit(&format!("{flag} needs a value")),
+            })
+    };
+    let backend = match flag_value("--backend") {
+        None => BackendKind::Mono,
+        Some(v) => {
+            BackendKind::parse(&v).unwrap_or_else(|| usage_exit(&format!("unknown backend {v:?}")))
+        }
+    };
+    let runner = match flag_value("--jobs").as_deref() {
+        None => SweepRunner::serial(),
+        Some("auto") => SweepRunner::auto(),
+        Some(v) => match v.parse::<usize>() {
+            Ok(n) => SweepRunner::new(n),
+            Err(_) => usage_exit(&format!("bad --jobs value {v:?}")),
+        },
     };
 
-    for id in ids {
-        match run_one(id, quick) {
-            Some(fig) => {
-                if csv {
-                    println!("# {}", fig.id);
-                    print!("{}", fig.render_csv());
-                } else {
-                    print!("{}", fig.render_text());
-                }
-                println!();
-            }
-            None => {
-                eprintln!("unknown experiment {id:?}; available: {}", ALL.join(", "));
-                std::process::exit(2);
-            }
+    // Positional args select experiments; flag values are skipped.
+    let mut selected: Vec<&str> = Vec::new();
+    let mut skip_next = false;
+    for (i, a) in args.iter().enumerate() {
+        if skip_next {
+            skip_next = false;
+            continue;
         }
+        if a == "--jobs" || a == "--backend" {
+            skip_next = true;
+            continue;
+        }
+        if a.starts_with("--") {
+            if a != "--quick" && a != "--csv" {
+                usage_exit(&format!("unknown flag {a:?}"));
+            }
+            continue;
+        }
+        if !ALL.contains(&a.as_str()) {
+            usage_exit(&format!("unknown experiment {a:?}"));
+        }
+        selected.push(&args[i]);
+    }
+
+    // No selection runs the whole suite in paper order; an explicit
+    // selection preserves the user's order and duplicates.
+    let jobs: Vec<ExperimentJob> = if selected.is_empty() {
+        experiments::suite(quick, backend)
+    } else {
+        let mut pool: Vec<Option<ExperimentJob>> = experiments::suite(quick, backend)
+            .into_iter()
+            .map(Some)
+            .collect();
+        selected
+            .iter()
+            .map(|id| {
+                pool.iter_mut()
+                    .find(|j| j.as_ref().is_some_and(|j| j.id() == *id))
+                    .and_then(Option::take)
+                    .unwrap_or_else(|| {
+                        // Duplicate selection: build a fresh instance.
+                        experiments::suite(quick, backend)
+                            .into_iter()
+                            .find(|j| j.id() == *id)
+                            .expect("validated against ALL")
+                    })
+            })
+            .collect()
+    };
+
+    let verbose = runner.threads() > 1;
+    if verbose {
+        eprintln!(
+            "fig_all: {} experiments on backend `{}` across {} workers",
+            jobs.len(),
+            backend.label(),
+            runner.threads().min(jobs.len()),
+        );
+    }
+    let figures = runner.run_all(&jobs, |ev| {
+        if !verbose {
+            return;
+        }
+        match ev {
+            RunAllEvent::Started { id } => eprintln!("fig_all: {id} started"),
+            RunAllEvent::SeriesReady { id, series } => {
+                eprintln!("fig_all:   {id} series `{}` ready", series.name);
+            }
+            RunAllEvent::Finished {
+                id,
+                completed,
+                total,
+                ..
+            } => eprintln!("fig_all: {id} done ({completed}/{total})"),
+        }
+    });
+    for fig in &figures {
+        render(fig, csv);
     }
 }

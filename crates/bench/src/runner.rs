@@ -48,11 +48,12 @@
 //! ```
 
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc;
 use std::thread;
 
 use impact_core::rng::SimRng;
 
-use crate::Series;
+use crate::{Figure, Series};
 
 /// One experiment curve evaluated over swept x values.
 ///
@@ -182,6 +183,176 @@ impl SweepRunner {
     }
 }
 
+/// One whole experiment as a schedulable unit of [`SweepRunner::run_all`]:
+/// an identifier plus a pure producer of its [`Figure`]. Purity (no
+/// shared mutable state, everything derived from the job's own captured
+/// parameters) is what makes cross-experiment sharding bit-identical at
+/// any worker count.
+pub struct ExperimentJob {
+    id: String,
+    run: Box<dyn Fn() -> Figure + Send + Sync>,
+}
+
+impl ExperimentJob {
+    /// Creates a job from an identifier and a pure figure producer.
+    #[must_use]
+    pub fn new(
+        id: impl Into<String>,
+        run: impl Fn() -> Figure + Send + Sync + 'static,
+    ) -> ExperimentJob {
+        ExperimentJob {
+            id: id.into(),
+            run: Box::new(run),
+        }
+    }
+
+    /// The experiment identifier (`"fig9"`, ...).
+    #[must_use]
+    pub fn id(&self) -> &str {
+        &self.id
+    }
+
+    /// Runs the experiment.
+    #[must_use]
+    pub fn run(&self) -> Figure {
+        (self.run)()
+    }
+}
+
+impl core::fmt::Debug for ExperimentJob {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("ExperimentJob")
+            .field("id", &self.id)
+            .finish()
+    }
+}
+
+/// Progress events [`SweepRunner::run_all`] streams to its callback while
+/// the suite executes, in completion order (not suite order). Partial
+/// results arrive as [`RunAllEvent::SeriesReady`] per finished series, so
+/// long sweeps report incrementally instead of all at the end.
+#[derive(Debug)]
+pub enum RunAllEvent<'a> {
+    /// A worker claimed the experiment and started executing it.
+    Started {
+        /// Experiment identifier.
+        id: &'a str,
+    },
+    /// One series of a finished experiment (streamed before `Finished`).
+    SeriesReady {
+        /// Experiment identifier.
+        id: &'a str,
+        /// The completed series.
+        series: &'a Series,
+    },
+    /// The experiment finished.
+    Finished {
+        /// Experiment identifier.
+        id: &'a str,
+        /// Position of this experiment in the suite.
+        index: usize,
+        /// Experiments finished so far (including this one).
+        completed: usize,
+        /// Total experiments in the suite.
+        total: usize,
+    },
+}
+
+/// Internal worker → coordinator message of [`SweepRunner::run_all`].
+enum SuiteMsg {
+    Started(usize),
+    Done(usize, Figure),
+}
+
+impl SweepRunner {
+    /// Runs a whole suite of experiments, sharding *across experiments*:
+    /// each worker thread claims the next unstarted [`ExperimentJob`],
+    /// runs it to completion, and hands the figure back to the calling
+    /// thread, which invokes `on_event` as results arrive (see
+    /// [`RunAllEvent`]). The returned figures are in suite order and
+    /// bit-identical for every worker count, because each job is pure.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a worker thread panics (an experiment itself panicked).
+    pub fn run_all<F>(&self, jobs: &[ExperimentJob], mut on_event: F) -> Vec<Figure>
+    where
+        F: FnMut(RunAllEvent<'_>),
+    {
+        let total = jobs.len();
+        if self.threads == 1 || total <= 1 {
+            let mut out = Vec::with_capacity(total);
+            for (index, job) in jobs.iter().enumerate() {
+                on_event(RunAllEvent::Started { id: job.id() });
+                let fig = job.run();
+                for series in &fig.series {
+                    on_event(RunAllEvent::SeriesReady {
+                        id: job.id(),
+                        series,
+                    });
+                }
+                on_event(RunAllEvent::Finished {
+                    id: job.id(),
+                    index,
+                    completed: index + 1,
+                    total,
+                });
+                out.push(fig);
+            }
+            return out;
+        }
+
+        let workers = self.threads.min(total);
+        let next = AtomicUsize::new(0);
+        let (tx, rx) = mpsc::channel::<SuiteMsg>();
+        let mut slots: Vec<Option<Figure>> = (0..total).map(|_| None).collect();
+        thread::scope(|scope| {
+            for _ in 0..workers {
+                let tx = tx.clone();
+                scope.spawn(|| {
+                    // Move the clone into the worker; drop it when the
+                    // claiming loop runs dry so the receiver terminates.
+                    let tx = tx;
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        let Some(job) = jobs.get(i) else { break };
+                        let _ = tx.send(SuiteMsg::Started(i));
+                        let fig = job.run();
+                        let _ = tx.send(SuiteMsg::Done(i, fig));
+                    }
+                });
+            }
+            drop(tx);
+            let mut completed = 0usize;
+            while let Ok(msg) = rx.recv() {
+                match msg {
+                    SuiteMsg::Started(i) => on_event(RunAllEvent::Started { id: jobs[i].id() }),
+                    SuiteMsg::Done(i, fig) => {
+                        completed += 1;
+                        for series in &fig.series {
+                            on_event(RunAllEvent::SeriesReady {
+                                id: jobs[i].id(),
+                                series,
+                            });
+                        }
+                        on_event(RunAllEvent::Finished {
+                            id: jobs[i].id(),
+                            index: i,
+                            completed,
+                            total,
+                        });
+                        slots[i] = Some(fig);
+                    }
+                }
+            }
+        });
+        slots
+            .into_iter()
+            .map(|f| f.expect("every claimed job completes"))
+            .collect()
+    }
+}
+
 /// Bit-exact series equality: names, lengths and the IEEE-754 bits of
 /// every point (so `-0.0 != 0.0` and NaNs compare by payload).
 #[must_use]
@@ -266,6 +437,75 @@ mod tests {
         let b = Series::new("s", vec![(1.0, -0.0)]);
         assert!(!series_bits_eq(&a, &b));
         assert!(series_bits_eq(&a, &a.clone()));
+    }
+
+    fn toy_suite() -> Vec<ExperimentJob> {
+        (0..5)
+            .map(|i| {
+                ExperimentJob::new(format!("exp{i}"), move || {
+                    // A System-backed mini-experiment: per-job seeded work.
+                    let mut sys = System::new(SystemConfig::paper_table2_noiseless());
+                    let agent = sys.spawn_agent();
+                    let mut rng = SimRng::seed(0xA11 + i);
+                    let pts: Vec<(f64, f64)> = (0..4)
+                        .map(|x| {
+                            let bank = rng.below(16) as usize;
+                            let va = sys.alloc_row_in_bank(agent, bank).expect("alloc");
+                            let lat = sys.load(agent, va).expect("load").latency.as_f64();
+                            (f64::from(x), lat)
+                        })
+                        .collect();
+                    Figure::new(format!("exp{i}"), "toy", "x", "cycles")
+                        .with_series(Series::new("latency", pts))
+                })
+            })
+            .collect()
+    }
+
+    #[test]
+    fn run_all_is_bit_identical_at_any_thread_count() {
+        let jobs = toy_suite();
+        let serial = SweepRunner::serial().run_all(&jobs, |_| {});
+        assert_eq!(serial.len(), 5);
+        for threads in [2, 3, 8] {
+            let parallel = SweepRunner::new(threads).run_all(&jobs, |_| {});
+            assert_eq!(parallel.len(), serial.len());
+            for (a, b) in serial.iter().zip(&parallel) {
+                assert_eq!(a.id, b.id, "{threads} threads reordered the suite");
+                assert_eq!(a.series.len(), b.series.len());
+                for (sa, sb) in a.series.iter().zip(&b.series) {
+                    assert!(series_bits_eq(sa, sb), "{threads} threads diverged");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn run_all_streams_partial_results() {
+        let jobs = toy_suite();
+        let mut started = Vec::new();
+        let mut series_seen = 0usize;
+        let mut finished = Vec::new();
+        let mut last_completed = 0usize;
+        let figs = SweepRunner::new(4).run_all(&jobs, |ev| match ev {
+            RunAllEvent::Started { id } => started.push(id.to_string()),
+            RunAllEvent::SeriesReady { series, .. } => {
+                assert!(!series.points.is_empty());
+                series_seen += 1;
+            }
+            RunAllEvent::Finished {
+                completed, total, ..
+            } => {
+                assert_eq!(total, jobs.len());
+                assert!(completed > last_completed);
+                last_completed = completed;
+                finished.push(completed);
+            }
+        });
+        assert_eq!(figs.len(), jobs.len());
+        assert_eq!(started.len(), jobs.len());
+        assert_eq!(series_seen, jobs.len()); // one series per toy figure
+        assert_eq!(last_completed, jobs.len());
     }
 
     #[test]

@@ -165,6 +165,41 @@ pub struct BackendStats {
     pub partition_rejects: u64,
 }
 
+impl BackendStats {
+    /// Accumulates `other` into `self`, counter by counter. This is how
+    /// composite backends (e.g. a sharded controller) fold per-component
+    /// statistics into one view, and how experiments aggregate stats
+    /// across systems without summing fields by hand.
+    pub fn merge(&mut self, other: &BackendStats) {
+        // Exhaustive destructuring: adding a counter without merging it
+        // becomes a compile error instead of silently dropped stats.
+        let BackendStats {
+            accesses,
+            rowclones,
+            blocked,
+            padded,
+            partition_rejects,
+        } = *other;
+        self.accesses += accesses;
+        self.rowclones += rowclones;
+        self.blocked += blocked;
+        self.padded += padded;
+        self.partition_rejects += partition_rejects;
+    }
+}
+
+impl core::ops::AddAssign<&BackendStats> for BackendStats {
+    fn add_assign(&mut self, rhs: &BackendStats) {
+        self.merge(rhs);
+    }
+}
+
+impl core::ops::AddAssign for BackendStats {
+    fn add_assign(&mut self, rhs: BackendStats) {
+        self.merge(&rhs);
+    }
+}
+
 /// A pluggable memory engine: classifies and times [`MemRequest`]s.
 ///
 /// Implementations must be deterministic: identical request sequences into
@@ -212,6 +247,88 @@ pub trait MemoryBackend {
     /// the hook noise injectors (prefetchers, page-table walkers) use to
     /// perturb row-buffer state.
     fn inject_row_activation(&mut self, bank: usize, row: u64, at: Cycles, actor: u32);
+
+    // --- Optional introspection for batched probe paths ---------------
+    //
+    // The three hooks below let the simulation core prove that a burst of
+    // scalar requests to distinct idle banks can be serviced through
+    // [`MemoryBackend::service_batch`] with responses bit-identical to
+    // issuing them one at a time at chained arrival times. The defaults
+    // are maximally conservative (burst callers fall back to the serial
+    // path), so only backends that opt in need to implement them.
+
+    /// True when, in the backend's current configuration, servicing an
+    /// in-range scalar request is (i) *arrival-time invariant* — the
+    /// response latency and classification depend only on per-bank state,
+    /// not on the request's `at`, provided the bank is idle at `at` — and
+    /// (ii) *infallible*. Periodic blocking, epoch-based defenses (ACT),
+    /// partition defenses (MPR, which can reject) and idle-timeout row
+    /// policies all violate this and must report `false`.
+    fn probe_burst_safe(&self) -> bool {
+        false
+    }
+
+    /// Flat bank index `addr` maps to, or `None` when the backend cannot
+    /// tell (unknown mapping) or the address is out of range.
+    fn bank_of(&self, addr: PhysAddr) -> Option<usize> {
+        let _ = addr;
+        None
+    }
+
+    /// Earliest time `bank` can start a new request (its busy-until time).
+    /// The conservative default makes every readiness check fail.
+    fn bank_ready_at(&self, bank: usize) -> Cycles {
+        let _ = bank;
+        Cycles(u64::MAX)
+    }
+}
+
+/// Forwarding implementation so `Engine<Box<dyn ...>>` instantiations can
+/// pick a backend at runtime.
+impl<B: MemoryBackend + ?Sized> MemoryBackend for Box<B> {
+    fn service(&mut self, req: &MemRequest) -> Result<MemResponse> {
+        (**self).service(req)
+    }
+
+    fn service_batch(&mut self, reqs: &[MemRequest]) -> Result<Vec<MemResponse>> {
+        (**self).service_batch(reqs)
+    }
+
+    fn backend_stats(&self) -> BackendStats {
+        (**self).backend_stats()
+    }
+
+    fn defense_label(&self) -> &'static str {
+        (**self).defense_label()
+    }
+
+    fn worst_case_latency(&self) -> Cycles {
+        (**self).worst_case_latency()
+    }
+
+    fn num_banks(&self) -> usize {
+        (**self).num_banks()
+    }
+
+    fn rows_per_bank(&self) -> u64 {
+        (**self).rows_per_bank()
+    }
+
+    fn inject_row_activation(&mut self, bank: usize, row: u64, at: Cycles, actor: u32) {
+        (**self).inject_row_activation(bank, row, at, actor);
+    }
+
+    fn probe_burst_safe(&self) -> bool {
+        (**self).probe_burst_safe()
+    }
+
+    fn bank_of(&self, addr: PhysAddr) -> Option<usize> {
+        (**self).bank_of(addr)
+    }
+
+    fn bank_ready_at(&self, bank: usize) -> Cycles {
+        (**self).bank_ready_at(bank)
+    }
 }
 
 #[cfg(test)]
@@ -235,6 +352,81 @@ mod tests {
         assert_eq!(rc.addr, a);
         assert_eq!(rc.at, Cycles(5));
         assert_eq!(rc.actor, 7);
+    }
+
+    #[test]
+    fn backend_stats_merge_sums_every_counter() {
+        let a = BackendStats {
+            accesses: 1,
+            rowclones: 2,
+            blocked: 3,
+            padded: 4,
+            partition_rejects: 5,
+        };
+        let b = BackendStats {
+            accesses: 10,
+            rowclones: 20,
+            blocked: 30,
+            padded: 40,
+            partition_rejects: 50,
+        };
+        let mut m = a.clone();
+        m.merge(&b);
+        assert_eq!(
+            m,
+            BackendStats {
+                accesses: 11,
+                rowclones: 22,
+                blocked: 33,
+                padded: 44,
+                partition_rejects: 55,
+            }
+        );
+        // AddAssign agrees, by value and by reference.
+        let mut v = a.clone();
+        v += b.clone();
+        assert_eq!(v, m);
+        let mut r = a;
+        r += &b;
+        assert_eq!(r, m);
+        // Merging the default is the identity.
+        let before = m.clone();
+        m += BackendStats::default();
+        assert_eq!(m, before);
+    }
+
+    #[test]
+    fn conservative_probe_hooks_by_default() {
+        struct Nothing;
+        impl MemoryBackend for Nothing {
+            fn service(&mut self, _: &MemRequest) -> Result<MemResponse> {
+                unreachable!()
+            }
+            fn backend_stats(&self) -> BackendStats {
+                BackendStats::default()
+            }
+            fn defense_label(&self) -> &'static str {
+                "None"
+            }
+            fn worst_case_latency(&self) -> Cycles {
+                Cycles(1)
+            }
+            fn num_banks(&self) -> usize {
+                1
+            }
+            fn rows_per_bank(&self) -> u64 {
+                1
+            }
+            fn inject_row_activation(&mut self, _: usize, _: u64, _: Cycles, _: u32) {}
+        }
+        let n = Nothing;
+        assert!(!n.probe_burst_safe());
+        assert_eq!(n.bank_of(PhysAddr(0)), None);
+        assert_eq!(n.bank_ready_at(0), Cycles(u64::MAX));
+        // The boxed forwarding impl preserves the answers.
+        let boxed: Box<dyn MemoryBackend> = Box::new(Nothing);
+        assert!(!boxed.probe_burst_safe());
+        assert_eq!(boxed.num_banks(), 1);
     }
 
     #[test]

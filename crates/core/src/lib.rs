@@ -29,6 +29,7 @@ pub mod error;
 pub mod rng;
 pub mod stats;
 pub mod time;
+pub mod trace;
 
 pub use addr::{PhysAddr, VirtAddr};
 pub use config::SystemConfig;
@@ -36,3 +37,4 @@ pub use engine::{BackendStats, MemRequest, MemResponse, MemoryBackend, ReqKind, 
 pub use error::{Error, Result};
 pub use rng::SimRng;
 pub use time::{Cycles, Nanos};
+pub use trace::{TraceEvent, TracingBackend};

@@ -1,0 +1,335 @@
+//! A recording proxy backend: wraps any [`MemoryBackend`] and keeps a
+//! replayable log of everything that reached it.
+//!
+//! [`TracingBackend`] is the second face of the backend seam: where a
+//! sharded controller changes *how* requests are served, the tracing proxy
+//! changes *nothing* — it forwards every call to the inner backend
+//! verbatim and appends a [`TraceEvent`] to its log. Replaying the log
+//! into a fresh backend of the same configuration ([`replay`]) reproduces
+//! the original backend state and statistics bit for bit, which makes the
+//! log a portable repro artifact for any simulated experiment.
+//!
+//! # Example
+//!
+//! ```
+//! use impact_core::addr::PhysAddr;
+//! use impact_core::engine::{MemRequest, MemoryBackend};
+//! use impact_core::time::Cycles;
+//! use impact_core::trace::{replay, TracingBackend};
+//! # use impact_core::engine::{BackendStats, MemResponse, RowBufferKind};
+//! # use impact_core::error::Result;
+//! # #[derive(Clone)]
+//! # struct Toy(u64);
+//! # impl MemoryBackend for Toy {
+//! #     fn service(&mut self, req: &MemRequest) -> Result<MemResponse> {
+//! #         self.0 += 1;
+//! #         Ok(MemResponse { bank: 0, row: self.0, kind: RowBufferKind::Miss,
+//! #             latency: Cycles(1), completed_at: req.at + Cycles(1), per_bank: Vec::new() })
+//! #     }
+//! #     fn backend_stats(&self) -> BackendStats {
+//! #         BackendStats { accesses: self.0, ..BackendStats::default() }
+//! #     }
+//! #     fn defense_label(&self) -> &'static str { "None" }
+//! #     fn worst_case_latency(&self) -> Cycles { Cycles(1) }
+//! #     fn num_banks(&self) -> usize { 1 }
+//! #     fn rows_per_bank(&self) -> u64 { 1 }
+//! #     fn inject_row_activation(&mut self, _: usize, _: u64, _: Cycles, _: u32) {}
+//! # }
+//! let mut traced = TracingBackend::new(Toy(0));
+//! traced.service(&MemRequest::load(PhysAddr(0), Cycles(0), 0))?;
+//! let mut fresh = Toy(0);
+//! replay(traced.log(), &mut fresh)?;
+//! assert_eq!(fresh.backend_stats(), traced.backend_stats());
+//! # Ok::<(), impact_core::Error>(())
+//! ```
+
+use crate::addr::PhysAddr;
+use crate::engine::{BackendStats, MemRequest, MemResponse, MemoryBackend};
+use crate::error::Result;
+use crate::time::Cycles;
+
+/// One logged backend interaction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TraceEvent {
+    /// A single [`MemoryBackend::service`] call.
+    Request(MemRequest),
+    /// One [`MemoryBackend::service_batch`] call (the boundary is kept so
+    /// a replay drives the same amortized path the original run used).
+    Batch(Vec<MemRequest>),
+    /// A defense-bypassing [`MemoryBackend::inject_row_activation`].
+    Inject {
+        /// Flat bank index.
+        bank: usize,
+        /// Row within the bank.
+        row: u64,
+        /// Injection time.
+        at: Cycles,
+        /// Acting agent (usually a reserved noise actor).
+        actor: u32,
+    },
+}
+
+impl TraceEvent {
+    /// Number of backend operations this event stands for.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        match self {
+            TraceEvent::Request(_) | TraceEvent::Inject { .. } => 1,
+            TraceEvent::Batch(reqs) => reqs.len(),
+        }
+    }
+
+    /// True for an empty batch event.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// A [`MemoryBackend`] proxy that records a replayable request log around
+/// any inner backend. All behavior — responses, statistics, batching —
+/// is the inner backend's, bit for bit.
+#[derive(Debug, Clone)]
+pub struct TracingBackend<B> {
+    inner: B,
+    log: Vec<TraceEvent>,
+}
+
+impl<B: MemoryBackend> TracingBackend<B> {
+    /// Wraps `inner`, starting with an empty log.
+    #[must_use]
+    pub fn new(inner: B) -> TracingBackend<B> {
+        TracingBackend {
+            inner,
+            log: Vec::new(),
+        }
+    }
+
+    /// The wrapped backend.
+    #[must_use]
+    pub fn inner(&self) -> &B {
+        &self.inner
+    }
+
+    /// Mutable access to the wrapped backend (configuration hooks).
+    pub fn inner_mut(&mut self) -> &mut B {
+        &mut self.inner
+    }
+
+    /// The recorded log so far.
+    #[must_use]
+    pub fn log(&self) -> &[TraceEvent] {
+        &self.log
+    }
+
+    /// Takes the recorded log, leaving an empty one behind.
+    pub fn take_log(&mut self) -> Vec<TraceEvent> {
+        core::mem::take(&mut self.log)
+    }
+
+    /// Total backend operations recorded (batch events count per request).
+    #[must_use]
+    pub fn recorded_ops(&self) -> usize {
+        self.log.iter().map(TraceEvent::len).sum()
+    }
+
+    /// Unwraps into the inner backend, discarding the log.
+    #[must_use]
+    pub fn into_inner(self) -> B {
+        self.inner
+    }
+}
+
+impl<B: MemoryBackend> MemoryBackend for TracingBackend<B> {
+    fn service(&mut self, req: &MemRequest) -> Result<MemResponse> {
+        self.log.push(TraceEvent::Request(*req));
+        self.inner.service(req)
+    }
+
+    fn service_batch(&mut self, reqs: &[MemRequest]) -> Result<Vec<MemResponse>> {
+        self.log.push(TraceEvent::Batch(reqs.to_vec()));
+        self.inner.service_batch(reqs)
+    }
+
+    fn backend_stats(&self) -> BackendStats {
+        self.inner.backend_stats()
+    }
+
+    fn defense_label(&self) -> &'static str {
+        self.inner.defense_label()
+    }
+
+    fn worst_case_latency(&self) -> Cycles {
+        self.inner.worst_case_latency()
+    }
+
+    fn num_banks(&self) -> usize {
+        self.inner.num_banks()
+    }
+
+    fn rows_per_bank(&self) -> u64 {
+        self.inner.rows_per_bank()
+    }
+
+    fn inject_row_activation(&mut self, bank: usize, row: u64, at: Cycles, actor: u32) {
+        self.log.push(TraceEvent::Inject {
+            bank,
+            row,
+            at,
+            actor,
+        });
+        self.inner.inject_row_activation(bank, row, at, actor);
+    }
+
+    fn probe_burst_safe(&self) -> bool {
+        self.inner.probe_burst_safe()
+    }
+
+    fn bank_of(&self, addr: PhysAddr) -> Option<usize> {
+        self.inner.bank_of(addr)
+    }
+
+    fn bank_ready_at(&self, bank: usize) -> Cycles {
+        self.inner.bank_ready_at(bank)
+    }
+}
+
+/// Replays a recorded log into `backend`, reproducing the original run's
+/// backend state and statistics (given a backend in the original initial
+/// configuration). Returns the responses in log order, batches flattened.
+///
+/// # Errors
+///
+/// Stops at the first failing request, exactly like the original run.
+pub fn replay<B: MemoryBackend>(log: &[TraceEvent], backend: &mut B) -> Result<Vec<MemResponse>> {
+    let mut out = Vec::new();
+    for ev in log {
+        match ev {
+            TraceEvent::Request(req) => out.push(backend.service(req)?),
+            TraceEvent::Batch(reqs) => out.extend(backend.service_batch(reqs)?),
+            TraceEvent::Inject {
+                bank,
+                row,
+                at,
+                actor,
+            } => backend.inject_row_activation(*bank, *row, *at, *actor),
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::RowBufferKind;
+
+    /// A minimal stateful backend: per-bank open row, hit/miss latency.
+    #[derive(Debug, Clone, Default)]
+    struct MiniBank {
+        open: [Option<u64>; 4],
+        stats: BackendStats,
+    }
+
+    impl MemoryBackend for MiniBank {
+        fn service(&mut self, req: &MemRequest) -> Result<MemResponse> {
+            let bank = (req.addr.0 / 64 % 4) as usize;
+            let row = req.addr.0 / 256;
+            let kind = match self.open[bank] {
+                Some(r) if r == row => RowBufferKind::Hit,
+                Some(_) => RowBufferKind::Conflict,
+                None => RowBufferKind::Miss,
+            };
+            self.open[bank] = Some(row);
+            self.stats.accesses += 1;
+            let latency = match kind {
+                RowBufferKind::Hit => Cycles(10),
+                RowBufferKind::Miss => Cycles(20),
+                RowBufferKind::Conflict => Cycles(30),
+            };
+            Ok(MemResponse {
+                bank,
+                row,
+                kind,
+                latency,
+                completed_at: req.at + latency,
+                per_bank: Vec::new(),
+            })
+        }
+        fn backend_stats(&self) -> BackendStats {
+            self.stats.clone()
+        }
+        fn defense_label(&self) -> &'static str {
+            "None"
+        }
+        fn worst_case_latency(&self) -> Cycles {
+            Cycles(30)
+        }
+        fn num_banks(&self) -> usize {
+            4
+        }
+        fn rows_per_bank(&self) -> u64 {
+            64
+        }
+        fn inject_row_activation(&mut self, bank: usize, row: u64, _: Cycles, _: u32) {
+            self.open[bank] = Some(row);
+        }
+    }
+
+    fn reqs() -> Vec<MemRequest> {
+        (0..16u64)
+            .map(|i| MemRequest::load(PhysAddr(i * 64 + (i % 3) * 256), Cycles(i * 100), 0))
+            .collect()
+    }
+
+    #[test]
+    fn proxy_is_transparent() {
+        let mut plain = MiniBank::default();
+        let mut traced = TracingBackend::new(MiniBank::default());
+        for r in reqs() {
+            assert_eq!(plain.service(&r).unwrap(), traced.service(&r).unwrap());
+        }
+        assert_eq!(plain.backend_stats(), traced.backend_stats());
+        assert_eq!(traced.log().len(), 16);
+        assert_eq!(traced.recorded_ops(), 16);
+    }
+
+    #[test]
+    fn replay_reproduces_state_and_stats() {
+        let mut traced = TracingBackend::new(MiniBank::default());
+        let rs = reqs();
+        let originals: Vec<MemResponse> = rs
+            .iter()
+            .map(|r| traced.service(r).unwrap())
+            .collect::<Vec<_>>();
+        traced.service_batch(&rs).unwrap();
+        traced.inject_row_activation(2, 7, Cycles(99), 1);
+
+        let mut fresh = MiniBank::default();
+        let replayed = replay(traced.log(), &mut fresh).unwrap();
+        assert_eq!(&replayed[..originals.len()], &originals[..]);
+        assert_eq!(fresh.backend_stats(), traced.backend_stats());
+        assert_eq!(fresh.open, traced.inner().open);
+    }
+
+    #[test]
+    fn batch_boundaries_are_preserved() {
+        let mut traced = TracingBackend::new(MiniBank::default());
+        let rs = reqs();
+        traced.service_batch(&rs[..4]).unwrap();
+        traced.service(&rs[4]).unwrap();
+        assert_eq!(traced.log().len(), 2);
+        assert!(matches!(&traced.log()[0], TraceEvent::Batch(b) if b.len() == 4));
+        assert!(matches!(&traced.log()[1], TraceEvent::Request(_)));
+        assert_eq!(traced.recorded_ops(), 5);
+    }
+
+    #[test]
+    fn take_log_resets() {
+        let mut traced = TracingBackend::new(MiniBank::default());
+        traced.service(&reqs()[0]).unwrap();
+        let log = traced.take_log();
+        assert_eq!(log.len(), 1);
+        assert!(traced.log().is_empty());
+        assert_eq!(traced.into_inner().stats.accesses, 1);
+    }
+}

@@ -54,6 +54,36 @@ impl BankStats {
     pub fn total_accesses(&self) -> u64 {
         self.hits + self.misses + self.conflicts
     }
+
+    /// Accumulates `other` into `self`, counter by counter.
+    pub fn merge(&mut self, other: &BankStats) {
+        // Exhaustive destructuring: adding a counter without merging it
+        // becomes a compile error instead of silently dropped stats.
+        let BankStats {
+            hits,
+            misses,
+            conflicts,
+            activations,
+            rowclones,
+        } = *other;
+        self.hits += hits;
+        self.misses += misses;
+        self.conflicts += conflicts;
+        self.activations += activations;
+        self.rowclones += rowclones;
+    }
+}
+
+impl core::ops::AddAssign<&BankStats> for BankStats {
+    fn add_assign(&mut self, rhs: &BankStats) {
+        self.merge(rhs);
+    }
+}
+
+impl core::ops::AddAssign for BankStats {
+    fn add_assign(&mut self, rhs: BankStats) {
+        self.merge(&rhs);
+    }
 }
 
 /// One DRAM bank: an independent row buffer plus timing bookkeeping.

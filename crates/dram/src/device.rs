@@ -178,11 +178,7 @@ impl DramDevice {
     pub fn total_stats(&self) -> BankStats {
         let mut total = BankStats::default();
         for b in &self.banks {
-            total.hits += b.stats().hits;
-            total.misses += b.stats().misses;
-            total.conflicts += b.stats().conflicts;
-            total.activations += b.stats().activations;
-            total.rowclones += b.stats().rowclones;
+            total += b.stats();
         }
         total
     }

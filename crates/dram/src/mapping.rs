@@ -24,6 +24,14 @@ pub trait AddressMapping: Send + Sync {
     /// Flat bank index for an address (convenience).
     fn flat_bank(&self, addr: PhysAddr) -> usize;
 
+    /// `(flat bank, row)` of an address in one decomposition — the pair
+    /// the memory controller needs on every access. Implementations
+    /// should override this when they can split the address once instead
+    /// of twice.
+    fn locate(&self, addr: PhysAddr) -> (usize, u64) {
+        (self.flat_bank(addr), self.map(addr).row)
+    }
+
     /// Inverse mapping used by memory massaging: returns a physical address
     /// that lands in `bank` (flat index) at `row` with byte `column`.
     fn compose(&self, bank: usize, row: u64, column: u32) -> PhysAddr;
@@ -68,6 +76,11 @@ impl AddressMapping for RowInterleaved {
 
     fn flat_bank(&self, addr: PhysAddr) -> usize {
         self.split(addr).1
+    }
+
+    fn locate(&self, addr: PhysAddr) -> (usize, u64) {
+        let (row, bank, _) = self.split(addr);
+        (bank, row)
     }
 
     fn compose(&self, bank: usize, row: u64, column: u32) -> PhysAddr {
@@ -130,6 +143,11 @@ impl AddressMapping for BankInterleavedXor {
 
     fn flat_bank(&self, addr: PhysAddr) -> usize {
         self.split(addr).1
+    }
+
+    fn locate(&self, addr: PhysAddr) -> (usize, u64) {
+        let (row, bank, _) = self.split(addr);
+        (bank, row)
     }
 
     fn compose(&self, bank: usize, row: u64, column: u32) -> PhysAddr {

@@ -1,11 +1,20 @@
 //! [`MemoryBackend`] implementation for [`MemoryController`] — the default
-//! engine behind the whole-system simulator.
+//! engine behind the whole-system simulator — plus the
+//! [`ControllerBackend`] extension trait every controller-flavored backend
+//! (monolithic, sharded, tracing-wrapped) implements so the layers above
+//! can install defenses and read DRAM statistics without knowing which
+//! backend is underneath.
 
+use impact_core::addr::PhysAddr;
 use impact_core::engine::{BackendStats, MemRequest, MemResponse, MemoryBackend};
 use impact_core::error::Result;
 use impact_core::time::Cycles;
+use impact_core::trace::TracingBackend;
+use impact_dram::{BankStats, RowPolicy};
 
-use crate::controller::MemoryController;
+use crate::controller::{MemoryController, PeriodicBlock};
+use crate::defense::Defense;
+use crate::sharded::ShardedController;
 
 impl MemoryBackend for MemoryController {
     fn service(&mut self, req: &MemRequest) -> Result<MemResponse> {
@@ -38,6 +47,147 @@ impl MemoryBackend for MemoryController {
 
     fn inject_row_activation(&mut self, bank: usize, row: u64, at: Cycles, actor: u32) {
         self.dram_mut().access_as(bank, row, at, actor);
+    }
+
+    fn probe_burst_safe(&self) -> bool {
+        // Scalar servicing is arrival-invariant and infallible (for
+        // in-range addresses) exactly when nothing consults absolute time
+        // or rejects requests: no periodic blocking epochs, no epoch-based
+        // (ACT) padding, no partition rejections (MPR) and no idle-timeout
+        // row policy. CTD pads to a constant, CRP only switches the row
+        // policy to closed — both stay invariant.
+        self.periodic_block().is_none()
+            && matches!(self.defense(), Defense::None | Defense::Crp | Defense::Ctd)
+            && !matches!(
+                self.dram().policy(),
+                RowPolicy::Open {
+                    idle_timeout: Some(_)
+                }
+            )
+    }
+
+    fn bank_of(&self, addr: PhysAddr) -> Option<usize> {
+        if self.check_capacity(addr).is_err() {
+            None
+        } else {
+            Some(self.mapping().flat_bank(addr))
+        }
+    }
+
+    fn bank_ready_at(&self, bank: usize) -> Cycles {
+        self.dram().bank(bank).busy_until()
+    }
+}
+
+/// A memory backend with memory-controller management hooks: defense
+/// installation, periodic blocking, row-policy ablations and DRAM-level
+/// statistics. The simulation engine exposes these hooks generically for
+/// any `Engine<B: ControllerBackend>`, which is what lets experiments run
+/// unchanged on the monolithic controller, the sharded controller, or a
+/// tracing proxy around either (`Box<dyn ControllerBackend>` also
+/// implements the trait, for runtime backend selection).
+pub trait ControllerBackend: MemoryBackend {
+    /// Installs a timing defense on every underlying controller.
+    fn set_defense(&mut self, defense: Defense);
+
+    /// Enables (or disables, with `None`) periodic per-bank blocking.
+    fn set_periodic_block(&mut self, blocking: Option<PeriodicBlock>);
+
+    /// Switches the DRAM row policy (ablations; defenses override this).
+    fn set_row_policy(&mut self, policy: RowPolicy);
+
+    /// DRAM-level statistics aggregated over all banks.
+    fn dram_totals(&self) -> BankStats;
+
+    /// Statistics of one flat bank.
+    fn dram_bank_stats(&self, bank: usize) -> BankStats;
+}
+
+impl ControllerBackend for MemoryController {
+    fn set_defense(&mut self, defense: Defense) {
+        MemoryController::set_defense(self, defense);
+    }
+
+    fn set_periodic_block(&mut self, blocking: Option<PeriodicBlock>) {
+        MemoryController::set_periodic_block(self, blocking);
+    }
+
+    fn set_row_policy(&mut self, policy: RowPolicy) {
+        self.dram_mut().set_policy(policy);
+    }
+
+    fn dram_totals(&self) -> BankStats {
+        self.dram().total_stats()
+    }
+
+    fn dram_bank_stats(&self, bank: usize) -> BankStats {
+        self.dram().bank(bank).stats().clone()
+    }
+}
+
+impl ControllerBackend for ShardedController {
+    fn set_defense(&mut self, defense: Defense) {
+        ShardedController::set_defense(self, defense);
+    }
+
+    fn set_periodic_block(&mut self, blocking: Option<PeriodicBlock>) {
+        ShardedController::set_periodic_block(self, blocking);
+    }
+
+    fn set_row_policy(&mut self, policy: RowPolicy) {
+        ShardedController::set_row_policy(self, policy);
+    }
+
+    fn dram_totals(&self) -> BankStats {
+        ShardedController::dram_totals(self)
+    }
+
+    fn dram_bank_stats(&self, bank: usize) -> BankStats {
+        self.sub_for_bank(bank).dram().bank(bank).stats().clone()
+    }
+}
+
+impl<B: ControllerBackend> ControllerBackend for TracingBackend<B> {
+    fn set_defense(&mut self, defense: Defense) {
+        self.inner_mut().set_defense(defense);
+    }
+
+    fn set_periodic_block(&mut self, blocking: Option<PeriodicBlock>) {
+        self.inner_mut().set_periodic_block(blocking);
+    }
+
+    fn set_row_policy(&mut self, policy: RowPolicy) {
+        self.inner_mut().set_row_policy(policy);
+    }
+
+    fn dram_totals(&self) -> BankStats {
+        self.inner().dram_totals()
+    }
+
+    fn dram_bank_stats(&self, bank: usize) -> BankStats {
+        self.inner().dram_bank_stats(bank)
+    }
+}
+
+impl<B: ControllerBackend + ?Sized> ControllerBackend for Box<B> {
+    fn set_defense(&mut self, defense: Defense) {
+        (**self).set_defense(defense);
+    }
+
+    fn set_periodic_block(&mut self, blocking: Option<PeriodicBlock>) {
+        (**self).set_periodic_block(blocking);
+    }
+
+    fn set_row_policy(&mut self, policy: RowPolicy) {
+        (**self).set_row_policy(policy);
+    }
+
+    fn dram_totals(&self) -> BankStats {
+        (**self).dram_totals()
+    }
+
+    fn dram_bank_stats(&self, bank: usize) -> BankStats {
+        (**self).dram_bank_stats(bank)
     }
 }
 

@@ -227,8 +227,7 @@ impl MemoryController {
     /// address exceeds the device capacity.
     pub fn access(&mut self, addr: PhysAddr, now: Cycles, actor: u32) -> Result<MemAccess> {
         self.check_capacity(addr)?;
-        let bank = self.mapping.flat_bank(addr);
-        let row = self.mapping.map(addr).row;
+        let (bank, row) = self.mapping.locate(addr);
         self.check_partition(bank, actor)?;
         self.stats.accesses += 1;
 
@@ -316,8 +315,7 @@ impl MemoryController {
     /// can fire (see [`MemoryController::service_batch`]).
     fn access_lean(&mut self, addr: PhysAddr, now: Cycles, actor: u32) -> Result<MemAccess> {
         self.check_capacity(addr)?;
-        let bank = self.mapping.flat_bank(addr);
-        let row = self.mapping.map(addr).row;
+        let (bank, row) = self.mapping.locate(addr);
         self.check_partition(bank, actor)?;
         self.stats.accesses += 1;
         let out = self.dram.access_as(bank, row, now, actor);
@@ -378,17 +376,10 @@ impl MemoryController {
         }
         self.stats.rowclones += 1;
 
-        let mut per_bank = Vec::with_capacity(lanes.len());
+        let per_bank = self.rowclone_lanes(&lanes, now, actor);
         let mut completed = now;
-        for (bank, src_row, dst_row) in lanes {
-            let block = self.take_block_delay(bank, now);
-            let out = self
-                .dram
-                .rowclone_as(bank, src_row, dst_row, now + block, actor);
-            let raw = out.completed_at - now + self.overhead;
-            let lat = self.apply_latency_defense(bank, out.kind, raw, now);
+        for &(_, _, lat) in &per_bank {
             completed = completed.max(now + lat);
-            per_bank.push((bank, out.kind, lat));
         }
         Ok(RowCloneOutcome {
             latency: completed - now,
@@ -397,13 +388,38 @@ impl MemoryController {
         })
     }
 
+    /// Executes pre-validated RowClone lanes `(bank, src_row, dst_row)` at
+    /// `now`, returning one `(bank, kind, latency)` outcome per lane in
+    /// input order. Shared between [`MemoryController::rowclone`] and the
+    /// sharded controller, which splits one masked request's lanes across
+    /// sub-controllers; it performs no validation and does not count a
+    /// RowClone operation in the stats — callers do both.
+    pub(crate) fn rowclone_lanes(
+        &mut self,
+        lanes: &[(usize, u64, u64)],
+        now: Cycles,
+        actor: u32,
+    ) -> Vec<(usize, RowBufferKind, Cycles)> {
+        let mut per_bank = Vec::with_capacity(lanes.len());
+        for &(bank, src_row, dst_row) in lanes {
+            let block = self.take_block_delay(bank, now);
+            let out = self
+                .dram
+                .rowclone_as(bank, src_row, dst_row, now + block, actor);
+            let raw = out.completed_at - now + self.overhead;
+            let lat = self.apply_latency_defense(bank, out.kind, raw, now);
+            per_bank.push((bank, out.kind, lat));
+        }
+        per_bank
+    }
+
     /// Worst-case (constant-time) latency served under CTD/ACT padding.
     #[must_use]
     pub fn worst_case_latency(&self) -> Cycles {
         self.dram.timing().worst_case_latency() + self.overhead
     }
 
-    fn check_capacity(&self, addr: PhysAddr) -> Result<()> {
+    pub(crate) fn check_capacity(&self, addr: PhysAddr) -> Result<()> {
         let capacity = self.dram.geometry().capacity_bytes();
         if addr.0 >= capacity {
             Err(Error::AddressOutOfRange {
@@ -415,7 +431,10 @@ impl MemoryController {
         }
     }
 
-    fn check_partition(&mut self, bank: usize, actor: u32) -> Result<()> {
+    /// Enforces the MPR partition for `(bank, actor)`, counting a reject
+    /// on failure. Crate-visible so the sharded controller can replicate
+    /// the monolithic validation order lane by lane.
+    pub(crate) fn check_partition(&mut self, bank: usize, actor: u32) -> Result<()> {
         if let Defense::Mpr(p) = &self.defense {
             if !p.allows(bank, actor) {
                 self.stats.partition_rejects += 1;

@@ -1,0 +1,604 @@
+//! A bank-sharded memory backend: N inner [`MemoryController`]s, each
+//! serving an interleaved slice of the banks.
+//!
+//! [`ShardedController`] partitions the flat bank space across `shards`
+//! sub-controllers by `bank % shards` — the same address-mapping
+//! interleave the device uses — and routes every request to the
+//! sub-controller owning its bank. Each sub-controller is a complete
+//! controller over the full geometry (global bank indices stay valid
+//! everywhere; only the owned banks are ever touched), trading a modest
+//! amount of idle per-bank state for exact index compatibility with the
+//! monolithic controller. Because all controller state (row
+//! buffers, busy times, blocking epochs, ACT counters, statistics) is
+//! per-bank, the composite is *observably identical* to one monolithic
+//! [`MemoryController`]: identical [`MemResponse`] streams, identical
+//! merged [`BackendStats`], identical per-bank DRAM state, for any request
+//! sequence. That equivalence is what lets the whole experiment suite run
+//! on it unchanged, and it is enforced by the proptests at the bottom of
+//! this module and by `tests/determinism.rs`.
+//!
+//! Masked RowClones span banks and therefore shards: the composite
+//! validates all lanes up front (in mask-bit order, exactly like the
+//! monolithic path), splits the lanes by owning shard, executes each
+//! shard's slice, and reassembles the per-lane outcomes in mask order.
+//!
+//! # Example
+//!
+//! ```
+//! use impact_core::addr::PhysAddr;
+//! use impact_core::config::SystemConfig;
+//! use impact_core::engine::{MemRequest, MemoryBackend};
+//! use impact_core::time::Cycles;
+//! use impact_memctrl::{MemoryController, ShardedController};
+//!
+//! let cfg = SystemConfig::paper_table2();
+//! let mut mono = MemoryController::from_config(&cfg);
+//! let mut sharded = ShardedController::from_config(&cfg, 4);
+//! let req = MemRequest::load(PhysAddr(0x40), Cycles(0), 0);
+//! assert_eq!(mono.service(&req)?, MemoryBackend::service(&mut sharded, &req)?);
+//! # Ok::<(), impact_core::Error>(())
+//! ```
+
+use impact_core::addr::PhysAddr;
+use impact_core::config::SystemConfig;
+use impact_core::engine::{BackendStats, MemRequest, MemResponse, MemoryBackend, ReqKind};
+use impact_core::error::{Error, Result};
+use impact_core::time::Cycles;
+use impact_dram::{BankStats, RowPolicy};
+
+use crate::controller::{MemoryController, PeriodicBlock};
+use crate::defense::Defense;
+
+/// N inner memory controllers, each serving the banks `b` with
+/// `b % shards == shard index`. See the module docs for the equivalence
+/// contract with the monolithic [`MemoryController`].
+pub struct ShardedController {
+    subs: Vec<MemoryController>,
+    /// Top-level counters the sub-controllers cannot attribute: whole
+    /// masked RowClone operations (their lanes are split across shards).
+    local: BackendStats,
+}
+
+impl core::fmt::Debug for ShardedController {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("ShardedController")
+            .field("shards", &self.subs.len())
+            .field("banks", &self.num_banks())
+            .field("defense", &self.defense().name())
+            .finish()
+    }
+}
+
+impl ShardedController {
+    /// Creates a controller with `shards` sub-controllers over the Table 2
+    /// configuration in `cfg` (clamped to at least one shard and at most
+    /// one shard per bank).
+    #[must_use]
+    pub fn from_config(cfg: &SystemConfig, shards: usize) -> ShardedController {
+        let banks = cfg.dram_geometry.total_banks() as usize;
+        let shards = shards.clamp(1, banks.max(1));
+        ShardedController {
+            subs: (0..shards)
+                .map(|_| MemoryController::from_config(cfg))
+                .collect(),
+            local: BackendStats::default(),
+        }
+    }
+
+    /// Number of shards.
+    #[must_use]
+    pub fn shards(&self) -> usize {
+        self.subs.len()
+    }
+
+    /// Shard index owning `bank`.
+    #[must_use]
+    pub fn shard_of(&self, bank: usize) -> usize {
+        bank % self.subs.len()
+    }
+
+    /// The sub-controller owning `bank`.
+    #[must_use]
+    pub fn sub_for_bank(&self, bank: usize) -> &MemoryController {
+        &self.subs[self.shard_of(bank)]
+    }
+
+    fn sub_for_bank_mut(&mut self, bank: usize) -> &mut MemoryController {
+        let s = self.shard_of(bank);
+        &mut self.subs[s]
+    }
+
+    /// The active defense (uniform across shards).
+    #[must_use]
+    pub fn defense(&self) -> &Defense {
+        self.subs[0].defense()
+    }
+
+    /// Installs a defense on every shard.
+    pub fn set_defense(&mut self, defense: Defense) {
+        for sub in &mut self.subs {
+            sub.set_defense(defense.clone());
+        }
+    }
+
+    /// Enables or disables periodic blocking on every shard.
+    pub fn set_periodic_block(&mut self, blocking: Option<PeriodicBlock>) {
+        for sub in &mut self.subs {
+            sub.set_periodic_block(blocking);
+        }
+    }
+
+    /// Switches the row policy on every shard.
+    pub fn set_row_policy(&mut self, policy: RowPolicy) {
+        for sub in &mut self.subs {
+            sub.dram_mut().set_policy(policy);
+        }
+    }
+
+    /// Merged controller statistics (bit-identical to the monolithic
+    /// controller's counters for the same request sequence).
+    #[must_use]
+    pub fn stats(&self) -> BackendStats {
+        let mut total = self.local.clone();
+        for sub in &self.subs {
+            total += sub.stats();
+        }
+        total
+    }
+
+    /// DRAM statistics aggregated over all banks of all shards. Each bank
+    /// is only ever touched by its owning shard, so the sum equals the
+    /// monolithic device total.
+    #[must_use]
+    pub fn dram_totals(&self) -> BankStats {
+        let mut total = BankStats::default();
+        for sub in &self.subs {
+            total += sub.dram().total_stats();
+        }
+        total
+    }
+
+    fn geometry_row_bytes(&self) -> u64 {
+        self.subs[0].dram().geometry().row_bytes
+    }
+
+    /// Serves one masked RowClone, replicating the monolithic validation
+    /// order and response layout while the lanes execute on their owning
+    /// shards.
+    fn service_rowclone(
+        &mut self,
+        src: PhysAddr,
+        dst: PhysAddr,
+        mask: u64,
+        now: Cycles,
+        actor: u32,
+    ) -> Result<MemResponse> {
+        if mask == 0 {
+            return Err(Error::InvalidRowClone("empty bank mask".into()));
+        }
+        let row_bytes = self.geometry_row_bytes();
+        // Pre-validate every lane in mask-bit order before touching any
+        // bank state, exactly like `MemoryController::rowclone`.
+        let mut lanes = Vec::new();
+        for i in 0..64u64 {
+            if mask & (1 << i) == 0 {
+                continue;
+            }
+            let s = src + i * row_bytes;
+            let d = dst + i * row_bytes;
+            self.subs[0].check_capacity(s)?;
+            self.subs[0].check_capacity(d)?;
+            let (sbank, srow) = self.subs[0].mapping().locate(s);
+            let (dbank, drow) = self.subs[0].mapping().locate(d);
+            if sbank != dbank {
+                return Err(Error::InvalidRowClone(format!(
+                    "mask bit {i}: src bank {sbank} != dst bank {dbank}"
+                )));
+            }
+            self.sub_for_bank_mut(sbank).check_partition(sbank, actor)?;
+            lanes.push((sbank, srow, drow));
+        }
+        // One whole masked operation; the lanes' DRAM-side counters land
+        // in the owning shards.
+        self.local.rowclones += 1;
+
+        // Execute each shard's lane slice and reassemble in mask order.
+        let shards = self.subs.len();
+        let mut by_shard: Vec<Vec<(usize, usize, u64, u64)>> = vec![Vec::new(); shards];
+        for (lane_idx, &(bank, srow, drow)) in lanes.iter().enumerate() {
+            by_shard[self.shard_of(bank)].push((lane_idx, bank, srow, drow));
+        }
+        let mut per_bank = vec![None; lanes.len()];
+        for (shard, slice) in by_shard.into_iter().enumerate() {
+            if slice.is_empty() {
+                continue;
+            }
+            let shard_lanes: Vec<(usize, u64, u64)> =
+                slice.iter().map(|&(_, b, s, d)| (b, s, d)).collect();
+            let outcomes = self.subs[shard].rowclone_lanes(&shard_lanes, now, actor);
+            for (&(lane_idx, ..), outcome) in slice.iter().zip(outcomes) {
+                per_bank[lane_idx] = Some(outcome);
+            }
+        }
+        let per_bank: Vec<_> = per_bank.into_iter().map(|o| o.expect("lane run")).collect();
+
+        let mut completed = now;
+        for &(_, _, lat) in &per_bank {
+            completed = completed.max(now + lat);
+        }
+        // The response headline reports the first set lane.
+        let first_lane = u64::from(mask.trailing_zeros());
+        let row = self.subs[0].mapping().map(src + first_lane * row_bytes).row;
+        let (bank, kind, _) = per_bank[0];
+        Ok(MemResponse {
+            bank,
+            row,
+            kind,
+            latency: completed - now,
+            completed_at: completed,
+            per_bank,
+        })
+    }
+}
+
+impl MemoryBackend for ShardedController {
+    fn service(&mut self, req: &MemRequest) -> Result<MemResponse> {
+        match req.kind {
+            ReqKind::Load | ReqKind::Store | ReqKind::Pim => {
+                // Out-of-range addresses map to an arbitrary shard; every
+                // sub rejects them with the same error the mono would.
+                let bank = self.subs[0].mapping().flat_bank(req.addr);
+                self.sub_for_bank_mut(bank).service(req)
+            }
+            ReqKind::RowClone { dst, mask } => {
+                self.service_rowclone(req.addr, dst, mask, req.at, req.actor)
+            }
+        }
+    }
+
+    fn service_batch(&mut self, reqs: &[MemRequest]) -> Result<Vec<MemResponse>> {
+        // Shards are state-disjoint, so scalar requests can be bucketed
+        // per shard and each bucket serviced through the sub-controller's
+        // amortized batch path; responses are reassembled in request
+        // order. The bucketed path requires that no request can fail
+        // mid-flight (the serial contract applies state up to the first
+        // failure): RowClones (cross-shard), partition defenses (can
+        // reject) and out-of-range addresses all fall back to the
+        // in-order loop.
+        let bucketable = !matches!(self.defense(), Defense::Mpr(_))
+            && reqs.iter().all(|r| {
+                matches!(r.kind, ReqKind::Load | ReqKind::Store | ReqKind::Pim)
+                    && self.subs[0].check_capacity(r.addr).is_ok()
+            });
+        if !bucketable {
+            return reqs.iter().map(|r| self.service(r)).collect();
+        }
+        let shards = self.subs.len();
+        let mut by_shard: Vec<(Vec<usize>, Vec<MemRequest>)> =
+            vec![(Vec::new(), Vec::new()); shards];
+        for (i, req) in reqs.iter().enumerate() {
+            let shard = self.shard_of(self.subs[0].mapping().flat_bank(req.addr));
+            by_shard[shard].0.push(i);
+            by_shard[shard].1.push(*req);
+        }
+        let mut out = vec![None; reqs.len()];
+        for (shard, (indices, shard_reqs)) in by_shard.into_iter().enumerate() {
+            if shard_reqs.is_empty() {
+                continue;
+            }
+            let resps = self.subs[shard].service_batch(&shard_reqs)?;
+            for (i, resp) in indices.into_iter().zip(resps) {
+                out[i] = Some(resp);
+            }
+        }
+        Ok(out
+            .into_iter()
+            .map(|r| r.expect("request served"))
+            .collect())
+    }
+
+    fn backend_stats(&self) -> BackendStats {
+        self.stats()
+    }
+
+    fn defense_label(&self) -> &'static str {
+        self.defense().name()
+    }
+
+    fn worst_case_latency(&self) -> Cycles {
+        self.subs[0].worst_case_latency()
+    }
+
+    fn num_banks(&self) -> usize {
+        self.subs[0].dram().num_banks()
+    }
+
+    fn rows_per_bank(&self) -> u64 {
+        self.subs[0].dram().geometry().rows_per_bank
+    }
+
+    fn inject_row_activation(&mut self, bank: usize, row: u64, at: Cycles, actor: u32) {
+        self.sub_for_bank_mut(bank)
+            .dram_mut()
+            .access_as(bank, row, at, actor);
+    }
+
+    fn probe_burst_safe(&self) -> bool {
+        self.subs.iter().all(MemoryBackend::probe_burst_safe)
+    }
+
+    fn bank_of(&self, addr: PhysAddr) -> Option<usize> {
+        self.subs[0].bank_of(addr)
+    }
+
+    fn bank_ready_at(&self, bank: usize) -> Cycles {
+        self.sub_for_bank(bank).bank_ready_at(bank)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::defense::{ActConfig, MprPartition};
+    use impact_core::rng::SimRng;
+
+    fn cfg() -> SystemConfig {
+        SystemConfig::paper_table2()
+    }
+
+    /// A mixed request stream: loads/stores/PIMs over several banks and
+    /// rows, plus masked RowClones whose lanes straddle shard boundaries.
+    fn stream(mc: &MemoryController, n: u64, seed: u64) -> Vec<MemRequest> {
+        let mut rng = SimRng::seed(seed);
+        let row_bytes = mc.dram().geometry().row_bytes;
+        let mut reqs = Vec::new();
+        let mut at = Cycles(0);
+        for i in 0..n {
+            let bank = rng.below(16) as usize;
+            let row = rng.below(8);
+            let addr = mc.mapping().compose(bank, row, (rng.below(4) * 64) as u32);
+            let actor = rng.below(2) as u32;
+            let req = match i % 7 {
+                0 => MemRequest::store(addr, at, actor),
+                1 => MemRequest::pim(addr, at, actor),
+                5 => {
+                    let src = PhysAddr(64 * 16 * row_bytes * (1 + rng.below(3)));
+                    let dst = PhysAddr(src.0 + 32 * 16 * row_bytes);
+                    let mask = rng.below(u64::from(u16::MAX)).max(1);
+                    MemRequest::rowclone(src, dst, mask, at, actor)
+                }
+                _ => MemRequest::load(addr, at, actor),
+            };
+            reqs.push(req);
+            at += Cycles(rng.below(700));
+        }
+        reqs
+    }
+
+    fn assert_equivalent(configure: impl Fn(&mut MemoryController) + Copy, shards: usize) {
+        let mut mono = MemoryController::from_config(&cfg());
+        configure(&mut mono);
+        let mut sharded = ShardedController::from_config(&cfg(), shards);
+        for sub in &mut sharded.subs {
+            configure(sub);
+        }
+        let reqs = stream(&mono, 160, 0x5A5A);
+        for req in &reqs {
+            let a = MemoryBackend::service(&mut mono, req);
+            let b = MemoryBackend::service(&mut sharded, req);
+            match (a, b) {
+                (Ok(x), Ok(y)) => assert_eq!(x, y),
+                (Err(_), Err(_)) => {}
+                (a, b) => panic!("divergent results: {a:?} vs {b:?}"),
+            }
+        }
+        assert_eq!(mono.backend_stats(), sharded.backend_stats());
+        assert_eq!(mono.dram().total_stats(), sharded.dram_totals());
+        for bank in 0..16 {
+            assert_eq!(
+                mono.dram().bank(bank).stats(),
+                sharded.sub_for_bank(bank).dram().bank(bank).stats(),
+                "bank {bank} stats diverged"
+            );
+            assert_eq!(
+                mono.dram().bank(bank).raw_open_row(),
+                sharded.sub_for_bank(bank).dram().bank(bank).raw_open_row(),
+                "bank {bank} open row diverged"
+            );
+        }
+    }
+
+    #[test]
+    fn matches_mono_without_defense() {
+        for shards in [1, 2, 3, 8, 16] {
+            assert_equivalent(|_| {}, shards);
+        }
+    }
+
+    #[test]
+    fn matches_mono_under_defenses_and_blocking() {
+        for shards in [2, 5] {
+            assert_equivalent(|mc| mc.set_defense(Defense::Ctd), shards);
+            assert_equivalent(|mc| mc.set_defense(Defense::Crp), shards);
+            assert_equivalent(
+                |mc| mc.set_defense(Defense::Act(ActConfig::aggressive())),
+                shards,
+            );
+            assert_equivalent(
+                |mc| mc.set_periodic_block(Some(PeriodicBlock::rfm_paper_default())),
+                shards,
+            );
+        }
+    }
+
+    #[test]
+    fn matches_mono_under_mpr() {
+        let configure = |mc: &mut MemoryController| {
+            let mut p = MprPartition::new(16);
+            p.assign_round_robin(&[0, 1]);
+            mc.set_defense(Defense::Mpr(p));
+        };
+        assert_equivalent(configure, 4);
+    }
+
+    #[test]
+    fn batch_matches_mono_batch() {
+        let mut mono = MemoryController::from_config(&cfg());
+        let mut sharded = ShardedController::from_config(&cfg(), 4);
+        let reqs = stream(&mono, 200, 7);
+        let scalars: Vec<MemRequest> = reqs
+            .into_iter()
+            .filter(|r| !matches!(r.kind, ReqKind::RowClone { .. }))
+            .collect();
+        assert_eq!(
+            mono.service_batch(&scalars).unwrap(),
+            MemoryBackend::service_batch(&mut sharded, &scalars).unwrap()
+        );
+        assert_eq!(mono.backend_stats(), sharded.backend_stats());
+    }
+
+    #[test]
+    fn batch_with_rowclones_takes_loop_path() {
+        let mut mono = MemoryController::from_config(&cfg());
+        let mut sharded = ShardedController::from_config(&cfg(), 8);
+        let reqs = stream(&mono, 120, 11); // includes RowClones
+        assert_eq!(
+            mono.service_batch(&reqs).unwrap(),
+            MemoryBackend::service_batch(&mut sharded, &reqs).unwrap()
+        );
+        assert_eq!(mono.dram().total_stats(), sharded.dram_totals());
+    }
+
+    #[test]
+    fn rowclone_counts_one_operation() {
+        let mut sharded = ShardedController::from_config(&cfg(), 4);
+        let row_bytes = sharded.geometry_row_bytes();
+        let req = MemRequest::rowclone(
+            PhysAddr(0),
+            PhysAddr(64 * 16 * row_bytes),
+            0xFFFF,
+            Cycles(0),
+            0,
+        );
+        let resp = MemoryBackend::service(&mut sharded, &req).unwrap();
+        assert_eq!(resp.per_bank.len(), 16);
+        assert_eq!(sharded.backend_stats().rowclones, 1);
+        assert_eq!(sharded.dram_totals().rowclones, 16);
+    }
+
+    #[test]
+    fn shard_count_clamps() {
+        assert_eq!(ShardedController::from_config(&cfg(), 0).shards(), 1);
+        assert_eq!(ShardedController::from_config(&cfg(), 999).shards(), 16);
+    }
+
+    #[test]
+    fn surface_reports_topology() {
+        let mut sharded = ShardedController::from_config(&cfg(), 4);
+        assert_eq!(MemoryBackend::num_banks(&sharded), 16);
+        assert!(sharded.rows_per_bank() > 0);
+        assert_eq!(sharded.defense_label(), "None");
+        assert!(sharded.probe_burst_safe());
+        sharded.set_defense(Defense::Ctd);
+        assert_eq!(sharded.defense_label(), "CTD");
+        assert!(sharded.probe_burst_safe());
+        sharded.set_periodic_block(Some(PeriodicBlock::rfm_paper_default()));
+        assert!(!sharded.probe_burst_safe());
+        let d = format!("{sharded:?}");
+        assert!(d.contains("shards"), "{d}");
+    }
+
+    #[test]
+    fn injection_routes_to_owner_shard() {
+        use crate::backend::ControllerBackend;
+        let mut sharded = ShardedController::from_config(&cfg(), 4);
+        sharded.inject_row_activation(6, 9, Cycles(0), 42);
+        assert_eq!(
+            sharded.sub_for_bank(6).dram().bank(6).stats().activations,
+            1
+        );
+        // Shards not owning bank 6 saw nothing.
+        assert_eq!(sharded.shard_of(6), 2);
+        assert_eq!(sharded.subs[0].dram().total_stats().activations, 0);
+        assert_eq!(sharded.dram_totals().activations, 1);
+        assert_eq!(
+            ControllerBackend::dram_bank_stats(&sharded, 6).activations,
+            1
+        );
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use impact_core::rng::SimRng;
+    use proptest::prelude::*;
+
+    /// Builds a valid random scalar+RowClone request stream.
+    fn build_stream(seed: u64, n: u64) -> Vec<MemRequest> {
+        let mc = MemoryController::from_config(&SystemConfig::paper_table2());
+        let row_bytes = mc.dram().geometry().row_bytes;
+        let mut rng = SimRng::seed(seed);
+        let mut at = Cycles(0);
+        (0..n)
+            .map(|i| {
+                let req = if i % 9 == 8 {
+                    let base = 16 * row_bytes * (rng.below(48) + 1);
+                    let dst = base + 16 * row_bytes * 200;
+                    MemRequest::rowclone(
+                        PhysAddr(base),
+                        PhysAddr(dst),
+                        rng.below(u64::from(u16::MAX)).max(1),
+                        at,
+                        rng.below(3) as u32,
+                    )
+                } else {
+                    let addr = mc.mapping().compose(
+                        rng.below(16) as usize,
+                        rng.below(32),
+                        (rng.below(8) * 64) as u32,
+                    );
+                    match i % 3 {
+                        0 => MemRequest::store(addr, at, rng.below(3) as u32),
+                        1 => MemRequest::pim(addr, at, rng.below(3) as u32),
+                        _ => MemRequest::load(addr, at, rng.below(3) as u32),
+                    }
+                };
+                at += Cycles(rng.below(900));
+                req
+            })
+            .collect()
+    }
+
+    proptest! {
+        /// Sharded and monolithic backends produce identical response
+        /// streams and statistics for random request sequences, at any
+        /// shard count, served request-at-a-time.
+        #[test]
+        fn sharded_matches_mono_serial(seed in 0u64..5000, shards in 1usize..9) {
+            let cfg = SystemConfig::paper_table2();
+            let mut mono = MemoryController::from_config(&cfg);
+            let mut sharded = ShardedController::from_config(&cfg, shards);
+            for req in build_stream(seed, 60) {
+                let a = MemoryBackend::service(&mut mono, &req).unwrap();
+                let b = MemoryBackend::service(&mut sharded, &req).unwrap();
+                prop_assert_eq!(a, b);
+            }
+            prop_assert_eq!(mono.backend_stats(), sharded.backend_stats());
+            prop_assert_eq!(mono.dram().total_stats(), sharded.dram_totals());
+        }
+
+        /// The same equivalence holds through the amortized batch path.
+        #[test]
+        fn sharded_matches_mono_batched(seed in 0u64..5000, shards in 1usize..9) {
+            let cfg = SystemConfig::paper_table2();
+            let mut mono = MemoryController::from_config(&cfg);
+            let mut sharded = ShardedController::from_config(&cfg, shards);
+            let reqs = build_stream(seed, 60);
+            let a = mono.service_batch(&reqs).unwrap();
+            let b = MemoryBackend::service_batch(&mut sharded, &reqs).unwrap();
+            prop_assert_eq!(a, b);
+            prop_assert_eq!(mono.backend_stats(), sharded.backend_stats());
+        }
+    }
+}

@@ -70,6 +70,16 @@ impl LocalityMonitor {
         }
     }
 
+    /// Reports what [`LocalityMonitor::observe`] would return for `line`
+    /// without updating any counter. Batched probe paths use this to
+    /// predict PMU decisions before committing to a burst.
+    #[must_use]
+    pub fn peek(&self, line: u64) -> bool {
+        let idx = (line as usize) % self.entries.len();
+        let e = &self.entries[idx];
+        e.valid && e.line == line && e.count >= self.threshold
+    }
+
     /// Observes an access to `line` and reports whether the PMU considers
     /// it high-locality *before* this access.
     pub fn observe(&mut self, line: u64) -> bool {
@@ -123,6 +133,17 @@ impl PeiEngine {
     /// PMU decision for a PEI targeting `addr` (also updates the monitor).
     pub fn decide(&mut self, addr: PhysAddr) -> ExecSite {
         if self.monitor.observe(addr.line_number()) {
+            ExecSite::Host
+        } else {
+            ExecSite::MemorySide
+        }
+    }
+
+    /// What [`PeiEngine::decide`] would answer for `addr`, without
+    /// updating the locality monitor.
+    #[must_use]
+    pub fn peek_site(&self, addr: PhysAddr) -> ExecSite {
+        if self.monitor.peek(addr.line_number()) {
             ExecSite::Host
         } else {
             ExecSite::MemorySide
@@ -284,6 +305,20 @@ mod tests {
         pei.reset_monitor();
         let out = pei.execute(&mut mc, addr, Cycles(2000), 0).unwrap();
         assert_eq!(out.site, ExecSite::MemorySide);
+    }
+
+    #[test]
+    fn peek_predicts_decide_without_mutation() {
+        let (mut mc, mut pei) = setup();
+        let addr = PhysAddr(0x40);
+        assert_eq!(pei.peek_site(addr), ExecSite::MemorySide);
+        pei.execute(&mut mc, addr, Cycles(0), 0).unwrap();
+        pei.execute(&mut mc, addr, Cycles(1000), 0).unwrap();
+        // Hot line: peek says Host and repeated peeks change nothing.
+        assert_eq!(pei.peek_site(addr), ExecSite::Host);
+        assert_eq!(pei.peek_site(addr), ExecSite::Host);
+        let out = pei.execute(&mut mc, addr, Cycles(2000), 0).unwrap();
+        assert_eq!(out.site, ExecSite::Host);
     }
 
     #[test]

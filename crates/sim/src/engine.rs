@@ -82,6 +82,19 @@ pub struct RowCloneInfo {
     pub per_bank: Vec<(usize, RowBufferKind, Cycles)>,
 }
 
+/// One timed PEI probe out of [`Engine::pim_probe_burst`]: what the
+/// probing agent's serialized timestamp pair measured, plus the
+/// ground-truth classification for test assertions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ProbeSample {
+    /// `t1 - t0` of the emulated `rdtscp` pair around the probe.
+    pub measured: u64,
+    /// Row-buffer classification when the PEI executed memory-side.
+    pub kind: Option<RowBufferKind>,
+    /// Where the PMU executed the probe.
+    pub site: ExecSite,
+}
+
 /// The simulation core, generic over the memory engine underneath it.
 ///
 /// See the crate-level docs for the co-simulation model. Most users want
@@ -494,6 +507,278 @@ impl<B: MemoryBackend> Engine<B> {
         })
     }
 
+    // ------------------------------------------------------------------
+    // Batched probe paths (attack hot loops)
+    // ------------------------------------------------------------------
+    //
+    // The attacks' inner loops reduce to bursts of PEI probes over
+    // distinct banks. The burst methods below service such a burst through
+    // the backend's amortized `service_batch` path while remaining
+    // BIT-IDENTICAL to the equivalent serial loop: same responses, same
+    // clock evolution, same TLB/monitor/backend state. The fast path only
+    // engages when that equivalence is provable —
+    //
+    //   * the backend reports `probe_burst_safe()` (scalar servicing is
+    //     arrival-time invariant and infallible for in-range addresses),
+    //   * noise injection is disabled (its RNG draws interleave with
+    //     probes in the serial loop),
+    //   * every probe maps to a distinct bank that is idle at burst start
+    //     (so no request ever queues, in either formulation), and
+    //   * (monitored bursts) the PMU would send every probe memory-side.
+    //
+    // Otherwise the methods fall back to the serial per-probe remainder,
+    // so callers can use them unconditionally. Translations are hoisted
+    // out of the per-probe loop in both paths; this is invisible because
+    // nothing between the probes of one burst touches the TLB or page
+    // table. (The only observable difference from a literal serial loop
+    // is on *error*: a burst whose k-th translation fails performs no
+    // probe at all, where the serial loop would have completed the first
+    // k-1.) Note the fast path leaves each probed bank's busy-until at
+    // (burst start + latency), earlier than the serial loop's chained
+    // completions; since the issuing agent's clock ends past every serial
+    // completion and banks are only re-touched at or after that clock
+    // (the attacks' semaphore discipline), the difference is
+    // unobservable.
+
+    /// True when a burst over the translated `probes` may take the
+    /// batched fast path for `agent` — see the invariants above.
+    fn burst_eligible(
+        &self,
+        agent: AgentId,
+        probes: &[(PhysAddr, Cycles)],
+        monitored: bool,
+    ) -> bool {
+        let ncfg = self.noise.config();
+        if ncfg.prefetcher_rate > 0.0 || ncfg.ptw_rate > 0.0 {
+            return false;
+        }
+        if !self.backend.probe_burst_safe() {
+            return false;
+        }
+        let now = self.now(agent);
+        let num_banks = self.backend.num_banks();
+        // Bank-distinctness scratch: a bitmask for ordinary geometries, a
+        // heap set only for very wide devices.
+        let mut mask = 0u128;
+        let mut wide = Vec::new();
+        if num_banks > 128 {
+            wide = vec![false; num_banks];
+        }
+        for &(pa, _) in probes {
+            let Some(bank) = self.backend.bank_of(pa) else {
+                return false;
+            };
+            if bank >= num_banks {
+                return false;
+            }
+            let dup = if num_banks <= 128 {
+                let bit = 1u128 << bank;
+                let d = mask & bit != 0;
+                mask |= bit;
+                d
+            } else {
+                let d = wide[bank];
+                wide[bank] = true;
+                d
+            };
+            if dup || self.backend.bank_ready_at(bank) > now {
+                return false;
+            }
+            if monitored && self.pei.peek_site(pa) == ExecSite::Host {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// The serial remainder of one probe after translation: exactly
+    /// [`Engine::pim_op`] (monitored) or [`Engine::pim_op_direct`]
+    /// (not) minus the translate.
+    fn pim_op_translated(
+        &mut self,
+        agent: AgentId,
+        pa: PhysAddr,
+        tlb_lat: Cycles,
+        monitored: bool,
+    ) -> Result<PimInfo> {
+        let start = self.now(agent) + tlb_lat;
+        if monitored && self.pei.decide(pa) == ExecSite::Host {
+            // Host-side PCU: PEI overhead + cache path.
+            let h = self.caches.load(pa);
+            let mut latency = tlb_lat + Cycles(self.cfg.pim.pei_overhead_cycles) + h.latency;
+            let mut kind = None;
+            if h.level == HitLevel::Memory {
+                let m = self
+                    .backend
+                    .service(&MemRequest::load(pa, start + latency, agent.0))?;
+                latency += m.latency;
+                kind = Some(m.kind);
+            }
+            self.noise.perturb(&mut self.backend, start + latency);
+            self.advance(agent, latency);
+            return Ok(PimInfo {
+                latency,
+                site: ExecSite::Host,
+                kind,
+            });
+        }
+        let out = self
+            .pei
+            .execute_memory_side(&mut self.backend, pa, start, agent.0)?;
+        let latency = tlb_lat + out.latency;
+        self.noise.perturb(&mut self.backend, start + latency);
+        self.advance(agent, latency);
+        Ok(PimInfo {
+            latency,
+            site: ExecSite::MemorySide,
+            kind: out.kind,
+        })
+    }
+
+    /// Burst body shared by every probe flavor: fast path (one
+    /// `service_batch`) when provably equivalent, serial remainder loop
+    /// otherwise. `timed` charges the serialized-timestamp pair around
+    /// each probe, as the receiver measurement loops do.
+    fn pim_burst_translated(
+        &mut self,
+        agent: AgentId,
+        probes: &[(PhysAddr, Cycles)],
+        monitored: bool,
+        timed: bool,
+    ) -> Result<Vec<PimInfo>> {
+        let timers = if timed {
+            self.params.timer_overhead * 2
+        } else {
+            Cycles::ZERO
+        };
+        if self.burst_eligible(agent, probes, monitored) {
+            if monitored {
+                for &(pa, _) in probes {
+                    // Eligibility peeked MemorySide for every distinct
+                    // line; intermediate observes cannot flip a distinct
+                    // line to high-locality, so the committed decisions
+                    // agree.
+                    let site = self.pei.decide(pa);
+                    debug_assert_eq!(site, ExecSite::MemorySide);
+                }
+            }
+            let overhead =
+                Cycles(self.cfg.pim.pei_overhead_cycles + self.cfg.pim.pcu_transport_cycles);
+            let at = self.now(agent);
+            let reqs: Vec<MemRequest> = probes
+                .iter()
+                .map(|&(pa, _)| MemRequest::pim(pa, at, agent.0))
+                .collect();
+            let resps = self.backend.service_batch(&reqs)?;
+            let mut infos = Vec::with_capacity(probes.len());
+            for (&(_, tlb_lat), m) in probes.iter().zip(resps) {
+                let latency = tlb_lat + overhead + m.latency;
+                self.advance(agent, latency + timers);
+                infos.push(PimInfo {
+                    latency,
+                    site: ExecSite::MemorySide,
+                    kind: Some(m.kind),
+                });
+            }
+            Ok(infos)
+        } else {
+            let mut out = Vec::with_capacity(probes.len());
+            for &(pa, tlb_lat) in probes {
+                if timed {
+                    self.advance(agent, self.params.timer_overhead);
+                }
+                let info = self.pim_op_translated(agent, pa, tlb_lat, monitored)?;
+                if timed {
+                    self.advance(agent, self.params.timer_overhead);
+                }
+                out.push(info);
+            }
+            Ok(out)
+        }
+    }
+
+    /// Translates every probe VA in order, charging the TLB exactly as a
+    /// per-probe loop would.
+    fn translate_burst(
+        &mut self,
+        agent: AgentId,
+        vas: &[VirtAddr],
+    ) -> Result<Vec<(PhysAddr, Cycles)>> {
+        let mut probes = Vec::with_capacity(vas.len());
+        for &va in vas {
+            probes.push(self.translate(agent, va)?);
+        }
+        Ok(probes)
+    }
+
+    /// Issues a burst of *timed, monitored* PEI probes — the receiver hot
+    /// loop of the IMPACT-PnM covert channel (Listing 1, Step 3). For each
+    /// `va` this is bit-identical to
+    ///
+    /// ```text
+    /// t0 = rdtscp(); pim_op(va); t1 = rdtscp(); measured = t1 - t0;
+    /// ```
+    ///
+    /// but when the burst invariants hold (see the module comments) all
+    /// probes are serviced through one amortized
+    /// [`MemoryBackend::service_batch`] call.
+    ///
+    /// # Errors
+    ///
+    /// Propagates translation and backend errors. A failed translation
+    /// aborts the burst before any probe is issued.
+    pub fn pim_probe_burst(
+        &mut self,
+        agent: AgentId,
+        vas: &[VirtAddr],
+    ) -> Result<Vec<ProbeSample>> {
+        let probes = self.translate_burst(agent, vas)?;
+        let timer = self.params.timer_overhead.0;
+        let infos = self.pim_burst_translated(agent, &probes, true, true)?;
+        Ok(infos
+            .into_iter()
+            .map(|i| ProbeSample {
+                measured: i.latency.0 + timer,
+                kind: i.kind,
+                site: i.site,
+            })
+            .collect())
+    }
+
+    /// Issues a burst of *untimed, explicitly offloaded* PEIs — the
+    /// row-opening initialization sweeps both attacks perform. For each
+    /// `va` this is bit-identical to calling [`Engine::pim_op_direct`],
+    /// with the same batched fast path as [`Engine::pim_probe_burst`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates translation and backend errors. A failed translation
+    /// aborts the burst before any probe is issued.
+    pub fn pim_open_burst(&mut self, agent: AgentId, vas: &[VirtAddr]) -> Result<Vec<PimInfo>> {
+        let probes = self.translate_burst(agent, vas)?;
+        self.pim_burst_translated(agent, &probes, false, false)
+    }
+
+    /// [`Engine::pim_open_burst`] over probes the caller has already
+    /// translated with [`Engine::translate`] (each entry is the physical
+    /// address plus the TLB latency that translation charged). Callers
+    /// that must interleave translation with allocation — e.g. the
+    /// side-channel attacker warming one row per bank — use this to keep
+    /// the serial TLB access order while still batching the DRAM probes.
+    /// Bit-identical to the remainder of [`Engine::pim_op_direct`] per
+    /// probe.
+    ///
+    /// # Errors
+    ///
+    /// Propagates backend errors.
+    pub fn pim_open_burst_translated(
+        &mut self,
+        agent: AgentId,
+        probes: &[(PhysAddr, Cycles)],
+    ) -> Result<Vec<PimInfo>> {
+        self.pim_burst_translated(agent, probes, false, false)
+    }
+
     /// Executes a masked RowClone: copies row chunks from the range at
     /// `src_va` to the range at `dst_va` for every set mask bit (§4.2).
     /// Both ranges must come from [`Engine::alloc_bank_stripe`] so that
@@ -525,6 +810,24 @@ impl<B: MemoryBackend> Engine<B> {
         })
     }
 
+    #[cfg(test)]
+    pub(crate) fn burst_would_commit(
+        &self,
+        agent: AgentId,
+        vas: &[VirtAddr],
+        monitored: bool,
+    ) -> bool {
+        let pt = &self.page_tables[agent.0 as usize];
+        let Ok(probes) = vas
+            .iter()
+            .map(|&va| pt.translate(va).map(|pa| (pa, Cycles::ZERO)))
+            .collect::<Result<Vec<_>>>()
+        else {
+            return false;
+        };
+        self.burst_eligible(agent, &probes, monitored)
+    }
+
     fn run_prefetchers(&mut self, va: VirtAddr, pa: PhysAddr, missed: bool, now: Cycles) {
         if !self.prefetchers_enabled {
             return;
@@ -542,5 +845,184 @@ impl<B: MemoryBackend> Engine<B> {
                 let _ = self.caches.load(r.addr);
             }
         }
+    }
+}
+
+#[cfg(test)]
+mod burst_tests {
+    use super::*;
+    use crate::system::{ShardedSystem, System, TracedSystem};
+    use impact_core::config::SystemConfig;
+    use impact_core::trace::TraceEvent;
+    use impact_memctrl::{ActConfig, Defense, PeriodicBlock};
+
+    /// Builds a system, one agent, and one probe line per bank.
+    fn probe_setup<B>(mut sys: Engine<B>, banks: usize) -> (Engine<B>, AgentId, Vec<VirtAddr>)
+    where
+        B: impact_memctrl::ControllerBackend,
+    {
+        let a = sys.spawn_agent();
+        let mut vas = Vec::new();
+        for bank in 0..banks {
+            let va = sys.alloc_row_in_bank(a, bank).unwrap();
+            sys.warm_tlb(a, va, 2);
+            vas.push(va);
+        }
+        (sys, a, vas)
+    }
+
+    /// The literal serial loop `pim_probe_burst` must match.
+    fn serial_probe_loop<B: impact_core::engine::MemoryBackend>(
+        sys: &mut Engine<B>,
+        agent: AgentId,
+        vas: &[VirtAddr],
+    ) -> Vec<ProbeSample> {
+        vas.iter()
+            .map(|&va| {
+                let t0 = sys.rdtscp(agent);
+                let info = sys.pim_op(agent, va).unwrap();
+                let t1 = sys.rdtscp(agent);
+                ProbeSample {
+                    measured: t1 - t0,
+                    kind: info.kind,
+                    site: info.site,
+                }
+            })
+            .collect()
+    }
+
+    fn assert_probe_burst_matches_serial(configure: impl Fn(&mut System)) {
+        let make = || {
+            let mut s = System::new(SystemConfig::paper_table2());
+            configure(&mut s);
+            s
+        };
+        let (mut a_sys, a, vas) = probe_setup(make(), 8);
+        let (mut b_sys, b, vas_b) = probe_setup(make(), 8);
+        assert_eq!(vas, vas_b);
+        for _ in 0..3 {
+            // Successive bursts probe fresh lines, like the PnM receiver.
+            let off: Vec<VirtAddr> = vas.iter().map(|&v| v + 64).collect();
+            let burst = a_sys.pim_probe_burst(a, &off).unwrap();
+            let serial = serial_probe_loop(&mut b_sys, b, &off);
+            assert_eq!(burst, serial);
+            assert_eq!(a_sys.now(a), b_sys.now(b), "clock diverged");
+            assert_eq!(
+                a_sys.backend().backend_stats(),
+                b_sys.backend().backend_stats()
+            );
+        }
+        assert_eq!(a_sys.dram_totals(), b_sys.dram_totals());
+    }
+
+    #[test]
+    fn probe_burst_bit_identical_noiseless() {
+        assert_probe_burst_matches_serial(|s| {
+            *s = System::new(SystemConfig::paper_table2_noiseless());
+        });
+    }
+
+    #[test]
+    fn probe_burst_bit_identical_under_noise_and_defenses() {
+        // Noise, ACT and periodic blocking force the serial fallback; CTD
+        // stays on the fast path. All must match the serial loop exactly.
+        assert_probe_burst_matches_serial(|_| {});
+        assert_probe_burst_matches_serial(|s| s.set_defense(Defense::Ctd));
+        assert_probe_burst_matches_serial(|s| s.set_defense(Defense::Act(ActConfig::aggressive())));
+        assert_probe_burst_matches_serial(|s| {
+            s.set_periodic_block(Some(PeriodicBlock::rfm_paper_default()));
+        });
+    }
+
+    #[test]
+    fn fast_path_engages_exactly_when_provable() {
+        let (sys, a, vas) = probe_setup(System::new(SystemConfig::paper_table2_noiseless()), 8);
+        assert!(sys.burst_would_commit(a, &vas, true));
+
+        // Duplicate banks: not provable.
+        let mut dup = vas.clone();
+        dup.push(vas[0]);
+        assert!(!sys.burst_would_commit(a, &dup, true));
+
+        // Noise on: not provable.
+        let (nsys, na, nvas) = probe_setup(System::new(SystemConfig::paper_table2()), 8);
+        assert!(!nsys.burst_would_commit(na, &nvas, true));
+
+        // ACT (epoch-based padding): not provable.
+        let (mut dsys, da, dvas) =
+            probe_setup(System::new(SystemConfig::paper_table2_noiseless()), 8);
+        dsys.set_defense(Defense::Act(ActConfig::mild()));
+        assert!(!dsys.burst_would_commit(da, &dvas, true));
+        // CTD pads to a constant: provable again.
+        dsys.set_defense(Defense::Ctd);
+        assert!(dsys.burst_would_commit(da, &dvas, true));
+
+        // Unmapped page: not provable.
+        assert!(!sys.burst_would_commit(a, &[VirtAddr(0xdead_b000)], true));
+    }
+
+    #[test]
+    fn fast_path_uses_one_service_batch() {
+        let (mut sys, a, vas) = probe_setup(
+            TracedSystem::traced(SystemConfig::paper_table2_noiseless()),
+            8,
+        );
+        let before = sys.trace_log().len();
+        sys.pim_probe_burst(a, &vas).unwrap();
+        let new: Vec<_> = sys.trace_log()[before..].to_vec();
+        assert_eq!(new.len(), 1, "expected exactly one batch event: {new:?}");
+        assert!(matches!(&new[0], TraceEvent::Batch(b) if b.len() == 8));
+    }
+
+    #[test]
+    fn open_burst_matches_pim_op_direct() {
+        let make = || System::new(SystemConfig::paper_table2());
+        let (mut a_sys, a, vas) = probe_setup(make(), 8);
+        let (mut b_sys, b, _) = probe_setup(make(), 8);
+        let burst = a_sys.pim_open_burst(a, &vas).unwrap();
+        let serial: Vec<PimInfo> = vas
+            .iter()
+            .map(|&va| b_sys.pim_op_direct(b, va).unwrap())
+            .collect();
+        assert_eq!(burst, serial);
+        assert_eq!(a_sys.now(a), b_sys.now(b));
+
+        // And pretranslated probes match the pim_op_direct remainder.
+        let make2 = || System::new(SystemConfig::paper_table2_noiseless());
+        let (mut c_sys, c, cvas) = probe_setup(make2(), 8);
+        let (mut d_sys, d, dvas) = probe_setup(make2(), 8);
+        let probes: Vec<(PhysAddr, Cycles)> = cvas
+            .iter()
+            .map(|&va| c_sys.translate(c, va).unwrap())
+            .collect();
+        let burst = c_sys.pim_open_burst_translated(c, &probes).unwrap();
+        let serial: Vec<PimInfo> = dvas
+            .iter()
+            .map(|&va| d_sys.pim_op_direct(d, va).unwrap())
+            .collect();
+        assert_eq!(burst, serial);
+        assert_eq!(c_sys.now(c), d_sys.now(d));
+    }
+
+    #[test]
+    fn bursts_work_on_every_backend() {
+        let cfg = SystemConfig::paper_table2_noiseless;
+        let (mut mono, a, vas) = probe_setup(System::new(cfg()), 8);
+        let expected = mono.pim_probe_burst(a, &vas).unwrap();
+        let (mut sharded, sa, svas) = probe_setup(ShardedSystem::sharded(cfg(), 4), 8);
+        assert!(sharded.burst_would_commit(sa, &svas, true));
+        assert_eq!(sharded.pim_probe_burst(sa, &svas).unwrap(), expected);
+        let (mut traced, ta, tvas) = probe_setup(TracedSystem::traced(cfg()), 8);
+        assert_eq!(traced.pim_probe_burst(ta, &tvas).unwrap(), expected);
+    }
+
+    #[test]
+    fn empty_burst_is_a_noop() {
+        let (mut sys, a, _) = probe_setup(System::new(SystemConfig::paper_table2()), 2);
+        let before = sys.now(a);
+        assert!(sys.pim_probe_burst(a, &[]).unwrap().is_empty());
+        assert!(sys.pim_open_burst(a, &[]).unwrap().is_empty());
+        assert!(sys.pim_open_burst_translated(a, &[]).unwrap().is_empty());
+        assert_eq!(sys.now(a), before);
     }
 }

@@ -9,7 +9,9 @@ use std::collections::VecDeque;
 
 use impact_core::time::Cycles;
 
-use crate::system::{AgentId, System};
+use impact_core::engine::MemoryBackend;
+
+use crate::engine::{AgentId, Engine};
 
 /// A counting semaphore between co-simulated agents.
 ///
@@ -39,7 +41,7 @@ impl CoSemaphore {
     }
 
     /// Posts (increments) the semaphore from `agent`.
-    pub fn post(&mut self, sys: &mut System, agent: AgentId) {
+    pub fn post<B: MemoryBackend>(&mut self, sys: &mut Engine<B>, agent: AgentId) {
         sys.advance(agent, self.overhead);
         self.posts.push_back(sys.now(agent));
     }
@@ -51,7 +53,7 @@ impl CoSemaphore {
     /// Panics if no post is pending: in deterministic co-simulation the
     /// driver must schedule the poster before the waiter, so an empty wait
     /// is a harness bug (a real thread would deadlock here).
-    pub fn wait(&mut self, sys: &mut System, agent: AgentId) {
+    pub fn wait<B: MemoryBackend>(&mut self, sys: &mut Engine<B>, agent: AgentId) {
         let t = self
             .posts
             .pop_front()
@@ -77,7 +79,7 @@ impl CoBarrier {
     }
 
     /// Synchronizes all `agents` at the barrier.
-    pub fn sync(&self, sys: &mut System, agents: &[AgentId]) {
+    pub fn sync<B: MemoryBackend>(&self, sys: &mut Engine<B>, agents: &[AgentId]) {
         let latest = agents
             .iter()
             .map(|&a| sys.now(a))
@@ -93,6 +95,7 @@ impl CoBarrier {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::system::System;
     use impact_core::config::SystemConfig;
 
     fn sys() -> System {

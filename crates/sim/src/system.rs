@@ -1,8 +1,23 @@
-//! The default simulated system: the generic [`Engine`] over the paper's
-//! memory controller.
+//! System instantiations of the generic [`Engine`] — the backend matrix.
+//!
+//! | alias | backend | use it for |
+//! |---|---|---|
+//! | [`System`] | [`MemoryController`] | the paper's Table 2 machine (default) |
+//! | [`ShardedSystem`] | [`ShardedController`] | bank-sharded controller, bit-identical to mono |
+//! | [`TracedSystem`] | [`TracingBackend`]`<MemoryController>` | replayable request logs around the default controller |
+//! | [`DynSystem`] | `Box<dyn ControllerBackend>` | runtime backend selection ([`BackendKind`]) |
+//!
+//! Every instantiation shares the defense/blocking/row-policy hooks via
+//! the generic `impl<B: ControllerBackend> Engine<B>` block, so attack and
+//! experiment code written against those hooks runs unchanged on any
+//! backend.
 
 use impact_core::config::SystemConfig;
-use impact_memctrl::{Defense, MemoryController};
+use impact_core::trace::{TraceEvent, TracingBackend};
+use impact_dram::{BankStats, RowPolicy};
+use impact_memctrl::{
+    ControllerBackend, Defense, MemoryController, PeriodicBlock, ShardedController,
+};
 
 use crate::engine::Engine;
 // Source compatibility: these types predate the engine split and were
@@ -13,6 +28,21 @@ pub use crate::engine::{AgentId, LoadInfo, PimInfo, RowCloneInfo, SimParams};
 /// generic simulation [`Engine`] instantiated with the default
 /// [`MemoryController`] backend.
 pub type System = Engine<MemoryController>;
+
+/// The engine over a bank-sharded controller ([`ShardedController`]):
+/// observably identical to [`System`], with the banks partitioned across
+/// sub-controllers.
+pub type ShardedSystem = Engine<ShardedController>;
+
+/// The engine over a tracing proxy around the default controller: records
+/// a replayable [`TraceEvent`] log of every request that reaches memory.
+pub type TracedSystem = Engine<TracingBackend<MemoryController>>;
+
+/// A memory backend chosen at runtime.
+pub type DynBackend = Box<dyn ControllerBackend>;
+
+/// The engine over a runtime-chosen backend (see [`BackendKind`]).
+pub type DynSystem = Engine<DynBackend>;
 
 impl System {
     /// Builds the system with default harness parameters and the LLC
@@ -39,10 +69,126 @@ impl System {
     pub fn memctrl_mut(&mut self) -> &mut MemoryController {
         self.backend_mut()
     }
+}
 
+impl ShardedSystem {
+    /// Builds the system over a [`ShardedController`] with `shards`
+    /// sub-controllers.
+    #[must_use]
+    pub fn sharded(cfg: SystemConfig, shards: usize) -> ShardedSystem {
+        let backend = ShardedController::from_config(&cfg, shards);
+        Engine::with_backend(cfg, SimParams::default(), backend)
+    }
+}
+
+impl TracedSystem {
+    /// Builds the system over a [`TracingBackend`]-wrapped default
+    /// controller.
+    #[must_use]
+    pub fn traced(cfg: SystemConfig) -> TracedSystem {
+        let backend = TracingBackend::new(MemoryController::from_config(&cfg));
+        Engine::with_backend(cfg, SimParams::default(), backend)
+    }
+
+    /// The recorded request log so far.
+    #[must_use]
+    pub fn trace_log(&self) -> &[TraceEvent] {
+        self.backend().log()
+    }
+
+    /// Takes the recorded log, leaving an empty one behind.
+    pub fn take_trace(&mut self) -> Vec<TraceEvent> {
+        self.backend_mut().take_log()
+    }
+}
+
+/// Controller-management hooks, available on every instantiation whose
+/// backend is a [`ControllerBackend`] (all of the aliases above).
+impl<B: ControllerBackend> Engine<B> {
     /// Installs a memory-controller defense.
     pub fn set_defense(&mut self, defense: Defense) {
         self.backend_mut().set_defense(defense);
+    }
+
+    /// Enables (or disables, with `None`) periodic per-bank blocking
+    /// (REF/RFM/PRAC).
+    pub fn set_periodic_block(&mut self, blocking: Option<PeriodicBlock>) {
+        self.backend_mut().set_periodic_block(blocking);
+    }
+
+    /// Switches the DRAM row policy (ablations).
+    pub fn set_row_policy(&mut self, policy: RowPolicy) {
+        self.backend_mut().set_row_policy(policy);
+    }
+
+    /// DRAM-level statistics aggregated over all banks.
+    #[must_use]
+    pub fn dram_totals(&self) -> BankStats {
+        self.backend().dram_totals()
+    }
+}
+
+/// Runtime selection of the memory backend under the engine — how the
+/// experiment harness and `fig_all --backend ...` run the whole suite on
+/// any entry of the backend matrix.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub enum BackendKind {
+    /// The monolithic [`MemoryController`] (default).
+    #[default]
+    Mono,
+    /// [`ShardedController`] with the given shard count.
+    Sharded(usize),
+    /// [`TracingBackend`] around the monolithic controller. Behind the
+    /// type-erased [`DynBackend`] the log itself is not reachable — this
+    /// kind exists to prove end-to-end transparency of the proxy (e.g.
+    /// the CI `fig_all --backend traced` smoke); use
+    /// [`TracedSystem::traced`] when the log is the point. The log grows
+    /// with every request and is dropped with its system.
+    Traced,
+}
+
+impl BackendKind {
+    /// Parses `"mono"`, `"sharded"` / `"sharded:N"` or `"traced"`.
+    #[must_use]
+    pub fn parse(s: &str) -> Option<BackendKind> {
+        match s {
+            "mono" => Some(BackendKind::Mono),
+            "traced" => Some(BackendKind::Traced),
+            "sharded" => Some(BackendKind::Sharded(4)),
+            _ => {
+                let n = s.strip_prefix("sharded:")?.parse().ok()?;
+                Some(BackendKind::Sharded(n))
+            }
+        }
+    }
+
+    /// Display label (`mono`, `sharded:4`, `traced`).
+    #[must_use]
+    pub fn label(&self) -> String {
+        match self {
+            BackendKind::Mono => "mono".into(),
+            BackendKind::Sharded(n) => format!("sharded:{n}"),
+            BackendKind::Traced => "traced".into(),
+        }
+    }
+
+    /// Builds the boxed backend for `cfg`.
+    #[must_use]
+    pub fn backend(&self, cfg: &SystemConfig) -> DynBackend {
+        match *self {
+            BackendKind::Mono => Box::new(MemoryController::from_config(cfg)),
+            BackendKind::Sharded(n) => Box::new(ShardedController::from_config(cfg, n)),
+            BackendKind::Traced => {
+                Box::new(TracingBackend::new(MemoryController::from_config(cfg)))
+            }
+        }
+    }
+
+    /// Builds a full system over this backend with default parameters.
+    #[must_use]
+    pub fn system(&self, cfg: SystemConfig) -> DynSystem {
+        let backend = self.backend(&cfg);
+        Engine::with_backend(cfg, SimParams::default(), backend)
     }
 }
 
@@ -266,5 +412,87 @@ mod tests {
         let d = format!("{s:?}");
         assert!(d.contains("CTD"), "debug output: {d}");
         assert!(d.contains("16"), "debug output: {d}");
+    }
+
+    // ------------------------------------------------------------------
+    // Backend matrix
+    // ------------------------------------------------------------------
+
+    /// A short whole-system exercise returning observable timing facts.
+    fn exercise<B: ControllerBackend>(s: &mut Engine<B>) -> Vec<u64> {
+        let a = s.spawn_agent();
+        let mut out = Vec::new();
+        for bank in 0..4 {
+            let va = s.alloc_row_in_bank(a, bank).unwrap();
+            s.warm_tlb(a, va, 2);
+            out.push(s.load_direct(a, va).unwrap().latency.0);
+            out.push(s.pim_op(a, va + 64).unwrap().latency.0);
+        }
+        s.set_defense(Defense::Ctd);
+        let vb = s.alloc_row_in_bank(a, 7).unwrap();
+        s.warm_tlb(a, vb, 2);
+        out.push(s.load_direct(a, vb).unwrap().latency.0);
+        out.push(s.now(a).0);
+        out.push(s.backend().backend_stats().accesses);
+        out.push(s.dram_totals().activations);
+        out
+    }
+
+    #[test]
+    fn sharded_and_traced_systems_match_mono() {
+        let cfg = SystemConfig::paper_table2_noiseless();
+        let mono = exercise(&mut System::new(cfg.clone()));
+        for shards in [1usize, 2, 8, 16] {
+            let mut s = ShardedSystem::sharded(cfg.clone(), shards);
+            assert_eq!(exercise(&mut s), mono, "{shards} shards diverged");
+        }
+        let mut t = TracedSystem::traced(cfg.clone());
+        assert_eq!(exercise(&mut t), mono, "traced system diverged");
+        assert!(!t.trace_log().is_empty());
+        // Runtime-selected backends agree too.
+        for kind in [
+            BackendKind::Mono,
+            BackendKind::Sharded(4),
+            BackendKind::Traced,
+        ] {
+            let mut s = kind.system(cfg.clone());
+            assert_eq!(exercise(&mut s), mono, "{} diverged", kind.label());
+        }
+    }
+
+    #[test]
+    fn traced_system_replays_to_identical_stats() {
+        use impact_core::engine::MemoryBackend;
+        use impact_core::trace::replay;
+        let cfg = SystemConfig::paper_table2();
+        let mut t = TracedSystem::traced(cfg.clone());
+        let a = t.spawn_agent();
+        for bank in 0..6 {
+            let va = t.alloc_row_in_bank(a, bank).unwrap();
+            t.warm_tlb(a, va, 2);
+            t.load(a, va).unwrap();
+            t.pim_op(a, va + 64).unwrap();
+            t.load_direct_batch(a, &[va + 128, va + 192]).unwrap();
+        }
+        // Replaying the log into a fresh controller of the same initial
+        // configuration reproduces the backend state and statistics.
+        let mut fresh = MemoryController::from_config(&cfg);
+        replay(t.trace_log(), &mut fresh).unwrap();
+        assert_eq!(fresh.backend_stats(), t.backend().backend_stats());
+        assert_eq!(fresh.dram().total_stats(), t.dram_totals());
+    }
+
+    #[test]
+    fn backend_kind_parses_and_labels() {
+        assert_eq!(BackendKind::parse("mono"), Some(BackendKind::Mono));
+        assert_eq!(BackendKind::parse("traced"), Some(BackendKind::Traced));
+        assert_eq!(BackendKind::parse("sharded"), Some(BackendKind::Sharded(4)));
+        assert_eq!(
+            BackendKind::parse("sharded:8"),
+            Some(BackendKind::Sharded(8))
+        );
+        assert_eq!(BackendKind::parse("nope"), None);
+        assert_eq!(BackendKind::Sharded(8).label(), "sharded:8");
+        assert_eq!(BackendKind::default(), BackendKind::Mono);
     }
 }

@@ -8,7 +8,8 @@
 
 use impact_core::error::Result;
 use impact_core::time::Cycles;
-use impact_sim::{AgentId, System};
+use impact_memctrl::ControllerBackend;
+use impact_sim::{AgentId, Engine};
 
 use crate::trace::{OpKind, Trace};
 
@@ -48,7 +49,11 @@ impl ReplayReport {
 ///
 /// Propagates allocation and access errors (e.g. MPR partition violations
 /// when the workload was not granted the banks it touches).
-pub fn replay(sys: &mut System, agent: AgentId, trace: &Trace) -> Result<ReplayReport> {
+pub fn replay<B: ControllerBackend>(
+    sys: &mut Engine<B>,
+    agent: AgentId,
+    trace: &Trace,
+) -> Result<ReplayReport> {
     let geometry = sys.config().dram_geometry;
     let rotation_bytes = u64::from(geometry.total_banks()) * geometry.row_bytes;
     let rotations = trace.footprint().div_ceil(rotation_bytes).max(1);
@@ -59,7 +64,7 @@ pub fn replay(sys: &mut System, agent: AgentId, trace: &Trace) -> Result<ReplayR
         rotations * rotation_bytes / impact_core::addr::PAGE_SIZE,
     );
 
-    let hits0 = sys.memctrl().dram().total_stats();
+    let hits0 = sys.dram_totals();
     let start = sys.now(agent);
     for op in trace.ops() {
         sys.advance(agent, Cycles(u64::from(op.gap)));
@@ -69,7 +74,7 @@ pub fn replay(sys: &mut System, agent: AgentId, trace: &Trace) -> Result<ReplayR
             OpKind::Store => sys.store(agent, va)?,
         };
     }
-    let stats = sys.memctrl().dram().total_stats();
+    let stats = sys.dram_totals();
     Ok(ReplayReport {
         cycles: sys.now(agent) - start,
         ops: trace.len() as u64,
@@ -86,6 +91,7 @@ mod tests {
     use crate::kernels;
     use impact_core::config::SystemConfig;
     use impact_memctrl::Defense;
+    use impact_sim::System;
 
     fn sys() -> System {
         System::new(SystemConfig::paper_table2_noiseless())

@@ -5,11 +5,11 @@ use impact::attacks::side_channel::{SideChannelAttack, SideChannelConfig};
 use impact::attacks::{PnmCovertChannel, PumCovertChannel};
 use impact::core::config::SystemConfig;
 use impact::core::rng::SimRng;
-use impact::sim::System;
+use impact::sim::{BackendKind, ShardedSystem, System, TracedSystem};
 use impact::workloads::graph::Graph;
 use impact::workloads::{kernels, replay};
 use impact_bench::experiments::{
-    fig12_workloads, DefenseOverheadSweep, LlcAxis, LlcCurve, LlcSweep,
+    fig12_workloads, suite, DefenseOverheadSweep, LlcAxis, LlcCurve, LlcSweep,
 };
 use impact_bench::runner::{series_bits_eq, SweepRunner};
 use impact_bench::Scenario;
@@ -138,6 +138,7 @@ fn sweep_runner_thread_count_is_invisible() {
             workloads: &workloads,
             defense,
             baseline: &[],
+            backend: BackendKind::Mono,
         };
         let serial = SweepRunner::new(1).run(&sweep);
         for threads in [2, 8] {
@@ -153,6 +154,160 @@ fn sweep_runner_thread_count_is_invisible() {
         assert!(series_bits_eq(&serial, &verified));
         // And the Scenario's own serial entry point agrees.
         assert!(series_bits_eq(&serial, &sweep.run()));
+    }
+}
+
+/// The sharded controller is observably identical to the monolithic one
+/// at whole-experiment granularity: the covert channel produces
+/// bit-identical reports at 1, 2 and 8 shards, and so does the tracing
+/// proxy.
+#[test]
+fn covert_channel_is_backend_invariant() {
+    let msg = SimRng::seed(9).bits(768);
+    let mono = {
+        let mut sys = System::new(SystemConfig::paper_table2());
+        let mut ch = PnmCovertChannel::setup(&mut sys, 16).unwrap();
+        ch.transmit(&mut sys, &msg).unwrap()
+    };
+    for shards in [1usize, 2, 8] {
+        let mut sys = ShardedSystem::sharded(SystemConfig::paper_table2(), shards);
+        let mut ch = PnmCovertChannel::setup(&mut sys, 16).unwrap();
+        let r = ch.transmit(&mut sys, &msg).unwrap();
+        assert_eq!(r, mono, "{shards} shards diverged from mono");
+    }
+    let mut sys = TracedSystem::traced(SystemConfig::paper_table2());
+    let mut ch = PnmCovertChannel::setup(&mut sys, 16).unwrap();
+    assert_eq!(ch.transmit(&mut sys, &msg).unwrap(), mono);
+    assert!(!sys.trace_log().is_empty());
+}
+
+/// The side channel, too, is invariant across shard counts.
+#[test]
+fn side_channel_is_backend_invariant() {
+    let cfg = || SystemConfig::paper_table2_noiseless().with_total_banks(1024);
+    let attack = || {
+        SideChannelAttack::new(SideChannelConfig {
+            reads: 25,
+            ..SideChannelConfig::default()
+        })
+    };
+    let digest = |r: &impact::attacks::SideChannelReport| {
+        (
+            r.score.true_positives,
+            r.score.false_positives,
+            r.score.false_negatives,
+            r.probes,
+            r.victim_accesses,
+            r.elapsed,
+            r.leaked_bits.to_bits(),
+        )
+    };
+    let mono = {
+        let mut sys = System::new(cfg());
+        digest(&attack().run(&mut sys).unwrap())
+    };
+    for shards in [1usize, 2, 8] {
+        let mut sys = ShardedSystem::sharded(cfg(), shards);
+        let r = attack().run(&mut sys).unwrap();
+        assert_eq!(digest(&r), mono, "{shards} shards diverged");
+    }
+}
+
+/// A traced run's request log replays into a fresh backend of the same
+/// configuration with bit-identical statistics — the repro-artifact
+/// contract of the tracing proxy.
+#[test]
+fn trace_replay_reproduces_stats() {
+    use impact::core::engine::MemoryBackend;
+    use impact::core::trace::replay;
+    use impact::memctrl::MemoryController;
+
+    let cfg = SystemConfig::paper_table2();
+    let mut sys = TracedSystem::traced(cfg.clone());
+    let msg = SimRng::seed(77).bits(512);
+    let mut ch = PnmCovertChannel::setup(&mut sys, 16).unwrap();
+    ch.transmit(&mut sys, &msg).unwrap();
+
+    let mut fresh = MemoryController::from_config(&cfg);
+    replay(sys.trace_log(), &mut fresh).unwrap();
+    assert_eq!(fresh.backend_stats(), sys.backend().backend_stats());
+    assert_eq!(fresh.dram().total_stats(), sys.dram_totals());
+}
+
+/// `SweepRunner::run_all` shards whole experiments across workers with
+/// bit-identical `Series` at every thread count, on the monolithic and
+/// the sharded backend alike.
+#[test]
+fn run_all_thread_count_is_invisible() {
+    // A compact sub-suite keeps this test fast while still crossing the
+    // analytic, covert-channel and replay experiment families.
+    let pick = |backend: BackendKind| {
+        let keep = ["delta", "fig2", "fig8", "fig10"];
+        suite(true, backend)
+            .into_iter()
+            .filter(|j| keep.contains(&j.id()))
+            .collect::<Vec<_>>()
+    };
+    for backend in [BackendKind::Mono, BackendKind::Sharded(4)] {
+        let jobs = pick(backend);
+        let serial = SweepRunner::serial().run_all(&jobs, |_| {});
+        for threads in [2, 4, 8] {
+            let parallel = SweepRunner::new(threads).run_all(&jobs, |_| {});
+            assert_eq!(serial.len(), parallel.len());
+            for (a, b) in serial.iter().zip(&parallel) {
+                assert_eq!(a.id, b.id, "suite order changed at {threads} threads");
+                assert_eq!(
+                    a.series.len(),
+                    b.series.len(),
+                    "{}: series count diverged",
+                    a.id
+                );
+                for (sa, sb) in a.series.iter().zip(&b.series) {
+                    assert!(
+                        series_bits_eq(sa, sb),
+                        "{}/{} diverged at {threads} threads on {}",
+                        a.id,
+                        sa.name,
+                        backend.label()
+                    );
+                }
+                assert_eq!(a.notes, b.notes, "{}: notes diverged", a.id);
+            }
+        }
+    }
+}
+
+/// The figures themselves are backend-invariant: the same sub-suite run
+/// on the sharded backend produces bit-identical series to the mono run.
+#[test]
+fn suite_is_backend_invariant() {
+    let keep = ["delta", "fig8", "fig10"];
+    let run = |backend: BackendKind| {
+        let jobs: Vec<_> = suite(true, backend)
+            .into_iter()
+            .filter(|j| keep.contains(&j.id()))
+            .collect();
+        SweepRunner::serial().run_all(&jobs, |_| {})
+    };
+    let mono = run(BackendKind::Mono);
+    for backend in [
+        BackendKind::Sharded(2),
+        BackendKind::Sharded(8),
+        BackendKind::Traced,
+    ] {
+        let other = run(backend);
+        for (a, b) in mono.iter().zip(&other) {
+            for (sa, sb) in a.series.iter().zip(&b.series) {
+                assert!(
+                    series_bits_eq(sa, sb),
+                    "{}/{} diverged on {}",
+                    a.id,
+                    sa.name,
+                    backend.label()
+                );
+            }
+            assert_eq!(a.notes, b.notes, "{} notes diverged", a.id);
+        }
     }
 }
 
