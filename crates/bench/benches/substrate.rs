@@ -195,6 +195,68 @@ fn bench_system(c: &mut Criterion) {
     });
 }
 
+/// The on-disk trace codec over a 4096-event mixed stream: encode into a
+/// memory sink, decode back. This is the throughput floor for capturing
+/// and replaying multi-GB traces.
+fn bench_trace_codec(c: &mut Criterion) {
+    use impact_core::engine::BackendStats;
+    use impact_core::rng::SimRng;
+    use impact_core::time::Cycles;
+    use impact_core::trace::{read_trace, write_trace, TraceEvent, TraceHeader, TraceSummary};
+
+    let cfg = SystemConfig::paper_table2();
+    let header = TraceHeader::for_config(&cfg, "paper_table2", 0xBE5C);
+    let mut rng = SimRng::seed(0xBE5C);
+    let events: Vec<TraceEvent> = (0..4096u64)
+        .map(|i| {
+            let addr = PhysAddr(rng.below(1 << 33));
+            let at = Cycles(i * 200 + rng.below(100));
+            match rng.below(10) {
+                0..=5 => TraceEvent::Request(MemRequest::load(addr, at, 0)),
+                6 => TraceEvent::Request(MemRequest::pim(addr, at, 1)),
+                7 => TraceEvent::Request(MemRequest::rowclone(
+                    addr,
+                    PhysAddr(addr.0 ^ (1 << 20)),
+                    0xFFFF,
+                    at,
+                    0,
+                )),
+                8 => TraceEvent::Inject {
+                    bank: (i % 16) as usize,
+                    row: rng.below(65536),
+                    at,
+                    actor: 99,
+                },
+                _ => TraceEvent::Batch(
+                    (0..8)
+                        .map(|j| MemRequest::load(PhysAddr(addr.0 + j * 64), at, 0))
+                        .collect(),
+                ),
+            }
+        })
+        .collect();
+    let summary = TraceSummary {
+        events: 0,
+        responses: 4096,
+        response_digest: 0xD16E57,
+        stats: BackendStats::default(),
+    };
+    c.bench_function("trace/encode_4k", |b| {
+        b.iter(|| {
+            write_trace(Vec::with_capacity(64 << 10), &header, &events, &summary)
+                .expect("encode")
+                .len()
+        });
+    });
+    let bytes = write_trace(Vec::new(), &header, &events, &summary).expect("encode");
+    c.bench_function("trace/decode_4k", |b| {
+        b.iter(|| {
+            let (_, decoded, _) = read_trace(&bytes[..]).expect("decode");
+            decoded.len()
+        });
+    });
+}
+
 fn bench_genomics(c: &mut Criterion) {
     let genome = Genome::synthesize(20_000, 7);
     c.bench_function("genomics/minimizers_20kb", |b| {
@@ -222,6 +284,7 @@ criterion_group!(
     bench_memctrl_batch,
     bench_pnm_transmit,
     bench_system,
+    bench_trace_codec,
     bench_genomics,
     bench_workloads
 );

@@ -8,19 +8,32 @@
 //! fig_all --jobs 4              # shard experiments over 4 worker threads
 //! fig_all --backend sharded:4   # run on a sharded memory backend
 //! fig_all --backend traced      # ... or behind a tracing proxy
+//! fig_all --record-trace f.trace  # capture a replayable trace file
+//! fig_all --trace f.trace       # run a captured trace as an experiment
 //! ```
 //!
 //! With `--jobs N` (or `--jobs auto`) the suite is sharded across worker
 //! threads by [`SweepRunner::run_all`]; progress and partial results
 //! stream to stderr as experiments complete, and the rendered output is
 //! printed in suite order at the end — bit-identical to a serial run.
+//!
+//! `--record-trace PATH` records the canonical capture workload on the
+//! selected `--backend` (spill-to-disk, replayable with `trace_replay`);
+//! when no experiments are selected, fig_all exits after recording.
+//! `--trace PATH` loads a previously captured trace and appends it to the
+//! suite as the `trace` experiment (a prefix-replay sweep whose series is
+//! bit-identical on every backend).
 
 use std::env;
+use std::fs::File;
+use std::io::BufWriter;
 
 use impact_bench::experiments;
 use impact_bench::runner::{ExperimentJob, RunAllEvent};
-use impact_bench::{Figure, SweepRunner};
+use impact_bench::trace_tools::{record_capture, trace_figure, CaptureKind, TraceScenario};
+use impact_bench::{Figure, Scenario, SweepRunner};
 use impact_sim::BackendKind;
+use impact_workloads::CapturedTrace;
 
 const ALL: [&str; 13] = [
     "delta",
@@ -41,7 +54,8 @@ const ALL: [&str; 13] = [
 fn usage_exit(msg: &str) -> ! {
     eprintln!("{msg}");
     eprintln!(
-        "usage: fig_all [--quick] [--csv] [--jobs N|auto] [--backend mono|sharded[:N]|traced] [EXPERIMENT...]"
+        "usage: fig_all [--quick] [--csv] [--jobs N|auto] [--backend mono|sharded[:N]|traced] \
+         [--record-trace PATH] [--trace PATH] [EXPERIMENT...]"
     );
     eprintln!("experiments: {}", ALL.join(", "));
     std::process::exit(2);
@@ -84,6 +98,8 @@ fn main() {
             Err(_) => usage_exit(&format!("bad --jobs value {v:?}")),
         },
     };
+    let record_trace = flag_value("--record-trace");
+    let trace_path = flag_value("--trace");
 
     // Positional args select experiments; flag values are skipped.
     let mut selected: Vec<&str> = Vec::new();
@@ -93,7 +109,7 @@ fn main() {
             skip_next = false;
             continue;
         }
-        if a == "--jobs" || a == "--backend" {
+        if a == "--jobs" || a == "--backend" || a == "--record-trace" || a == "--trace" {
             skip_next = true;
             continue;
         }
@@ -109,9 +125,40 @@ fn main() {
         selected.push(&args[i]);
     }
 
+    // --record-trace: capture the canonical mixed workload on the selected
+    // backend before (or instead of) running experiments.
+    if let Some(path) = &record_trace {
+        let sink = File::create(path)
+            .unwrap_or_else(|e| usage_exit(&format!("cannot create {path}: {e}")));
+        let outcome = record_capture(
+            CaptureKind::Mix,
+            backend,
+            quick,
+            0x7ACE,
+            Box::new(BufWriter::new(sink)),
+        )
+        .unwrap_or_else(|e| {
+            eprintln!("fig_all: trace recording failed: {e}");
+            std::process::exit(1);
+        });
+        eprintln!(
+            "fig_all: recorded {} events ({} responses, digest {:#018x}) on `{}` to {path}",
+            outcome.summary.events,
+            outcome.summary.responses,
+            outcome.summary.response_digest,
+            backend.label(),
+        );
+        if selected.is_empty() && trace_path.is_none() {
+            return;
+        }
+    }
+
     // No selection runs the whole suite in paper order; an explicit
     // selection preserves the user's order and duplicates.
-    let jobs: Vec<ExperimentJob> = if selected.is_empty() {
+    let mut jobs: Vec<ExperimentJob> = if selected.is_empty() && trace_path.is_some() {
+        // A lone --trace runs just the captured-trace experiment.
+        Vec::new()
+    } else if selected.is_empty() {
         experiments::suite(quick, backend)
     } else {
         let mut pool: Vec<Option<ExperimentJob>> = experiments::suite(quick, backend)
@@ -134,6 +181,21 @@ fn main() {
             })
             .collect()
     };
+
+    // --trace: append the captured trace as one more experiment.
+    if let Some(path) = &trace_path {
+        let captured = CapturedTrace::load(std::path::Path::new(path)).unwrap_or_else(|e| {
+            eprintln!("fig_all: cannot load trace {path}: {e}");
+            std::process::exit(1);
+        });
+        let scenario = TraceScenario::new(captured, backend).unwrap_or_else(|e| {
+            eprintln!("fig_all: trace {path} is not replayable: {e}");
+            std::process::exit(1);
+        });
+        jobs.push(ExperimentJob::new("trace", move || {
+            trace_figure(&scenario, scenario.run())
+        }));
+    }
 
     let verbose = runner.threads() > 1;
     if verbose {

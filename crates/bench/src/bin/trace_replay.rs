@@ -1,0 +1,261 @@
+//! Capture, replay, diff and summarize persisted backend traces.
+//!
+//! ```text
+//! trace_replay record --out run.trace [--scenario mix|pnm|bfs]
+//!                     [--backend mono|sharded[:N]|traced] [--quick] [--seed N]
+//! trace_replay replay run.trace [--backend mono|sharded[:N]|traced]
+//! trace_replay diff   a.trace b.trace
+//! trace_replay stats  run.trace
+//! ```
+//!
+//! `record` runs a canonical capture workload with the tracing proxy
+//! spilling straight to disk. `replay` re-services the file on any
+//! backend and verifies responses, `BackendStats` and the DRAM state
+//! digest bit-for-bit against the recorded footer (exit code 1 on any
+//! mismatch). `diff` reports the first divergent event between two files
+//! with context (exit code 1 on divergence). `stats` prints the per-kind
+//! and per-bank request mix.
+
+use std::env;
+use std::fs::File;
+use std::io::BufReader;
+use std::process::ExitCode;
+
+use impact_bench::trace_tools::{
+    diff_readers, record_capture, replay_file, trace_stats, CaptureKind, DiffOutcome,
+};
+use impact_sim::BackendKind;
+
+fn usage_exit(msg: &str) -> ! {
+    eprintln!("{msg}");
+    eprintln!(
+        "usage: trace_replay record --out FILE [--scenario mix|pnm|bfs] \
+         [--backend mono|sharded[:N]|traced] [--quick] [--seed N]\n\
+         \x20      trace_replay replay FILE [--backend mono|sharded[:N]|traced]\n\
+         \x20      trace_replay diff A B\n\
+         \x20      trace_replay stats FILE"
+    );
+    std::process::exit(2);
+}
+
+struct Args {
+    positional: Vec<String>,
+    quick: bool,
+    backend: BackendKind,
+    scenario: CaptureKind,
+    seed: u64,
+    out: Option<String>,
+}
+
+fn parse_args(raw: &[String]) -> Args {
+    let mut args = Args {
+        positional: Vec::new(),
+        quick: false,
+        backend: BackendKind::Mono,
+        scenario: CaptureKind::Mix,
+        seed: 0x7ACE,
+        out: None,
+    };
+    let mut it = raw.iter();
+    while let Some(a) = it.next() {
+        let mut value = |flag: &str| -> String {
+            it.next()
+                .unwrap_or_else(|| usage_exit(&format!("{flag} needs a value")))
+                .clone()
+        };
+        match a.as_str() {
+            "--quick" => args.quick = true,
+            "--backend" => {
+                let v = value("--backend");
+                args.backend = BackendKind::parse(&v)
+                    .unwrap_or_else(|| usage_exit(&format!("unknown backend {v:?}")));
+            }
+            "--scenario" => {
+                let v = value("--scenario");
+                args.scenario = CaptureKind::parse(&v)
+                    .unwrap_or_else(|| usage_exit(&format!("unknown scenario {v:?}")));
+            }
+            "--seed" => {
+                let v = value("--seed");
+                args.seed = v
+                    .parse()
+                    .unwrap_or_else(|_| usage_exit(&format!("bad --seed value {v:?}")));
+            }
+            "--out" => args.out = Some(value("--out")),
+            flag if flag.starts_with("--") => usage_exit(&format!("unknown flag {flag:?}")),
+            _ => args.positional.push(a.clone()),
+        }
+    }
+    args
+}
+
+fn open(path: &str) -> BufReader<File> {
+    BufReader::new(
+        File::open(path).unwrap_or_else(|e| usage_exit(&format!("cannot open {path}: {e}"))),
+    )
+}
+
+fn main() -> ExitCode {
+    let raw: Vec<String> = env::args().skip(1).collect();
+    let Some((cmd, rest)) = raw.split_first() else {
+        usage_exit("missing subcommand");
+    };
+    let args = parse_args(rest);
+    match cmd.as_str() {
+        "record" => {
+            let Some(out) = args.out.as_deref() else {
+                usage_exit("record needs --out FILE");
+            };
+            if !args.positional.is_empty() {
+                usage_exit("record takes no positional arguments");
+            }
+            let sink = File::create(out)
+                .unwrap_or_else(|e| usage_exit(&format!("cannot create {out}: {e}")));
+            let outcome = record_capture(
+                args.scenario,
+                args.backend,
+                args.quick,
+                args.seed,
+                Box::new(std::io::BufWriter::new(sink)),
+            )
+            .unwrap_or_else(|e| {
+                eprintln!("trace_replay: record failed: {e}");
+                std::process::exit(1);
+            });
+            println!(
+                "recorded scenario={} backend={} quick={} seed={}",
+                args.scenario.name(),
+                args.backend.label(),
+                args.quick,
+                args.seed,
+            );
+            println!(
+                "  config={} events={} responses={}",
+                outcome.label, outcome.summary.events, outcome.summary.responses,
+            );
+            println!(
+                "  response-digest={:#018x}",
+                outcome.summary.response_digest
+            );
+            println!("  state-digest={:#018x}", outcome.state_digest);
+            ExitCode::SUCCESS
+        }
+        "replay" => {
+            let [file] = &args.positional[..] else {
+                usage_exit("replay takes exactly one trace file");
+            };
+            let v = replay_file(open(file), args.backend).unwrap_or_else(|e| {
+                eprintln!("trace_replay: replay failed: {e}");
+                std::process::exit(1);
+            });
+            println!(
+                "replayed {} events / {} responses on backend={}",
+                v.recorded.events,
+                v.responses,
+                args.backend.label(),
+            );
+            println!("  response-digest={:#018x}", v.response_digest);
+            println!("  state-digest={:#018x}", v.state_digest);
+            if v.matches() {
+                println!("  verdict: bit-identical to the recorded run");
+                ExitCode::SUCCESS
+            } else {
+                eprintln!(
+                    "  MISMATCH: recorded responses={} digest={:#018x} stats={:?}",
+                    v.recorded.responses, v.recorded.response_digest, v.recorded.stats
+                );
+                eprintln!(
+                    "            replayed responses={} digest={:#018x} stats={:?}",
+                    v.responses, v.response_digest, v.stats
+                );
+                ExitCode::FAILURE
+            }
+        }
+        "diff" => {
+            let [a, b] = &args.positional[..] else {
+                usage_exit("diff takes exactly two trace files");
+            };
+            let outcome = diff_readers(open(a), open(b)).unwrap_or_else(|e| {
+                eprintln!("trace_replay: diff failed: {e}");
+                std::process::exit(1);
+            });
+            match outcome {
+                DiffOutcome::Identical { events } => {
+                    println!("identical: {events} events, matching footers");
+                    ExitCode::SUCCESS
+                }
+                DiffOutcome::HeaderMismatch(fields) => {
+                    eprintln!("headers differ:");
+                    for f in fields {
+                        eprintln!("  {f}");
+                    }
+                    ExitCode::FAILURE
+                }
+                DiffOutcome::EventMismatch {
+                    index,
+                    left,
+                    right,
+                    context,
+                } => {
+                    eprintln!("first divergent event at index {index}:");
+                    for (i, ev) in context.iter().enumerate() {
+                        let at = index - (context.len() - i) as u64;
+                        eprintln!("  [{at}] (shared) {ev:?}");
+                    }
+                    match left {
+                        Some(ev) => eprintln!("  [{index}] left:  {ev:?}"),
+                        None => eprintln!("  [{index}] left:  <stream ends>"),
+                    }
+                    match right {
+                        Some(ev) => eprintln!("  [{index}] right: {ev:?}"),
+                        None => eprintln!("  [{index}] right: <stream ends>"),
+                    }
+                    ExitCode::FAILURE
+                }
+                DiffOutcome::SummaryMismatch { left, right } => {
+                    eprintln!("events identical but footers differ:");
+                    eprintln!("  left:  {left:?}");
+                    eprintln!("  right: {right:?}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        "stats" => {
+            let [file] = &args.positional[..] else {
+                usage_exit("stats takes exactly one trace file");
+            };
+            let (header, mix, summary) = trace_stats(open(file)).unwrap_or_else(|e| {
+                eprintln!("trace_replay: stats failed: {e}");
+                std::process::exit(1);
+            });
+            println!(
+                "trace config={} (fingerprint {:#018x}) seed={}",
+                header.label, header.fingerprint, header.seed
+            );
+            println!(
+                "  {} events, {} responses, recorded digest {:#018x}",
+                summary.events, summary.responses, summary.response_digest
+            );
+            println!(
+                "  kinds: {} load, {} store, {} pim, {} rowclone, {} inject",
+                mix.loads, mix.stores, mix.pims, mix.rowclones, mix.injects
+            );
+            println!(
+                "  batches: {} (largest {}), unmapped requests: {}",
+                mix.batches, mix.max_batch, mix.unmapped
+            );
+            let total: u64 = mix.per_bank.iter().sum();
+            println!(
+                "  per-bank requests ({} banks, {total} total):",
+                mix.per_bank.len()
+            );
+            for (bank, count) in mix.per_bank.iter().enumerate() {
+                if *count > 0 {
+                    println!("    bank {bank:>4}: {count}");
+                }
+            }
+            ExitCode::SUCCESS
+        }
+        other => usage_exit(&format!("unknown subcommand {other:?}")),
+    }
+}

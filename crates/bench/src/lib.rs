@@ -26,6 +26,8 @@
 pub mod experiments;
 pub mod runner;
 pub mod series;
+pub mod trace_tools;
 
 pub use runner::{Scenario, SweepRunner};
 pub use series::{Figure, Series};
+pub use trace_tools::TraceScenario;

@@ -1,0 +1,746 @@
+//! Recording, replaying, diffing and sweeping persisted backend traces —
+//! the library behind the `trace_replay` binary and `fig_all`'s
+//! `--record-trace`/`--trace` flags.
+//!
+//! A trace file makes cross-machine, cross-backend reproducibility a
+//! *checkable property*: [`record_capture`] runs a canonical workload on
+//! any backend of the matrix with the tracing proxy spilling straight to
+//! disk; [`replay_file`] re-services the file on any (possibly different)
+//! backend and verifies the responses, [`BackendStats`] and DRAM state
+//! digest bit-for-bit against the recorded footer; [`diff_readers`]
+//! pinpoints the first divergent event between two captures; and
+//! [`TraceScenario`] turns a captured file into a [`Scenario`] that runs
+//! under the [`SweepRunner`] alongside the built-in experiment suite.
+
+use std::io::{Read, Write};
+use std::sync::Arc;
+
+use impact_attacks::PnmCovertChannel;
+use impact_core::config::SystemConfig;
+use impact_core::engine::{BackendStats, MemoryBackend};
+use impact_core::error::{Error, Result};
+use impact_core::rng::SimRng;
+use impact_core::trace::{TraceEvent, TraceHeader, TraceReader, TraceSummary, TracingBackend};
+use impact_memctrl::ControllerBackend;
+use impact_sim::{BackendKind, DynBackend, Engine, SimParams};
+use impact_workloads::{kernels, CapturedTrace, Graph, RequestMix};
+
+use crate::runner::Scenario;
+use crate::{Figure, Series};
+
+/// The engine [`record_capture`] drives: a tracing proxy around a
+/// runtime-chosen backend, so one concrete type records any entry of the
+/// backend matrix.
+pub type TracingDynSystem = Engine<TracingBackend<Box<dyn ControllerBackend>>>;
+
+/// Resolves a trace header's config label to the [`SystemConfig`] it
+/// names. Labels are how a replay on another machine rebuilds the
+/// recorded system; the header fingerprint then proves the resolution is
+/// exact.
+#[must_use]
+pub fn config_for_label(label: &str) -> Option<SystemConfig> {
+    match label {
+        "paper_table2" => Some(SystemConfig::paper_table2()),
+        "paper_table2_noiseless" => Some(SystemConfig::paper_table2_noiseless()),
+        _ => {
+            let banks: u32 = label
+                .strip_prefix("paper_table2_noiseless+banks:")?
+                .parse()
+                .ok()?;
+            (banks > 0 && banks.is_multiple_of(4))
+                .then(|| SystemConfig::paper_table2_noiseless().with_total_banks(banks))
+        }
+    }
+}
+
+/// The canonical capture workloads `trace_replay record` offers. Each is
+/// deterministic in (seed, quick, backend-invariant responses), so the
+/// same invocation on two machines produces byte-identical trace files.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CaptureKind {
+    /// A seeded mixed stream of loads, stores, PiM ops, batched bursts and
+    /// RowClones across every bank (the default).
+    Mix,
+    /// The IMPACT-PnM covert channel transmitting a seeded message.
+    Pnm,
+    /// A BFS kernel trace replayed through the engine.
+    Bfs,
+}
+
+impl CaptureKind {
+    /// Parses `"mix"`, `"pnm"` or `"bfs"`.
+    #[must_use]
+    pub fn parse(s: &str) -> Option<CaptureKind> {
+        match s {
+            "mix" => Some(CaptureKind::Mix),
+            "pnm" => Some(CaptureKind::Pnm),
+            "bfs" => Some(CaptureKind::Bfs),
+            _ => None,
+        }
+    }
+
+    /// Display name.
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        match self {
+            CaptureKind::Mix => "mix",
+            CaptureKind::Pnm => "pnm",
+            CaptureKind::Bfs => "bfs",
+        }
+    }
+}
+
+/// Result of one [`record_capture`] run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CaptureOutcome {
+    /// Config label written into the header (resolve with
+    /// [`config_for_label`]).
+    pub label: String,
+    /// The sealed footer.
+    pub summary: TraceSummary,
+    /// DRAM state digest of the recording backend after the run.
+    pub state_digest: u64,
+}
+
+/// Records `kind` on `backend`, streaming the trace into `sink` (spill
+/// mode: the recording never materializes in memory). Any entry of the
+/// backend matrix produces byte-identical trace files for the same
+/// (kind, quick, seed) — the property the weekly determinism CI diffs.
+///
+/// # Errors
+///
+/// Propagates simulator and trace-write errors.
+pub fn record_capture(
+    kind: CaptureKind,
+    backend: BackendKind,
+    quick: bool,
+    seed: u64,
+    sink: Box<dyn Write + Send>,
+) -> Result<CaptureOutcome> {
+    let cfg = SystemConfig::paper_table2();
+    let label = "paper_table2";
+    let mut sys: TracingDynSystem = Engine::with_backend(
+        cfg.clone(),
+        SimParams::default(),
+        TracingBackend::new(backend.backend(&cfg)),
+    );
+    sys.record_trace_to(sink, label, seed)?;
+    match kind {
+        CaptureKind::Mix => run_mix(&mut sys, quick, seed)?,
+        CaptureKind::Pnm => {
+            let message = SimRng::seed(seed).bits(if quick { 256 } else { 2048 });
+            let mut channel = PnmCovertChannel::setup(&mut sys, 16)?;
+            channel.transmit(&mut sys, &message)?;
+        }
+        CaptureKind::Bfs => {
+            let (nodes, edges) = if quick { (64, 256) } else { (512, 4096) };
+            let graph = Graph::uniform_random(nodes, edges, seed);
+            let (_, trace) = kernels::bfs(&graph, 0);
+            let agent = sys.spawn_agent();
+            impact_workloads::replay(&mut sys, agent, &trace)?;
+        }
+    }
+    let summary = sys.finish_trace()?.expect("recording was started above");
+    Ok(CaptureOutcome {
+        label: label.to_string(),
+        summary,
+        state_digest: sys.backend().dram_state_digest(),
+    })
+}
+
+/// The seeded mixed workload: demand loads/stores, monitored and
+/// offloaded PiM ops, batched direct-load bursts and masked RowClones,
+/// touching every bank of the device.
+fn run_mix(sys: &mut TracingDynSystem, quick: bool, seed: u64) -> Result<()> {
+    let mut rng = SimRng::seed(seed);
+    let agent = sys.spawn_agent();
+    let banks = sys.backend().num_banks();
+    let mut rows = Vec::with_capacity(banks);
+    for bank in 0..banks {
+        let va = sys.alloc_row_in_bank(agent, bank)?;
+        sys.warm_tlb(agent, va, 2);
+        rows.push(va);
+    }
+    let src = sys.alloc_bank_stripe(agent, 1)?;
+    let dst = sys.alloc_bank_stripe(agent, 1)?;
+    sys.warm_tlb(agent, src, 2 * banks as u64);
+    sys.warm_tlb(agent, dst, 2 * banks as u64);
+
+    let ops = if quick { 1_500 } else { 40_000 };
+    for _ in 0..ops {
+        let row = rows[rng.below(rows.len() as u64) as usize];
+        let offset = rng.below(64) * 64;
+        match rng.below(20) {
+            0..=7 => {
+                sys.load(agent, row + offset)?;
+            }
+            8..=10 => {
+                sys.store(agent, row + offset)?;
+            }
+            11..=14 => {
+                sys.pim_op(agent, row + offset)?;
+            }
+            15..=16 => {
+                sys.pim_op_direct(agent, row + offset)?;
+            }
+            17..=18 => {
+                // A burst over eight distinct banks through the batched
+                // request path (preserves `Batch` boundaries in the trace).
+                let base = rng.below(banks as u64 - 8) as usize;
+                let vas: Vec<_> = (0..8).map(|i| rows[base + i] + offset).collect();
+                sys.load_direct_batch(agent, &vas)?;
+            }
+            _ => {
+                let mask = rng.below((1 << banks.min(16)) - 1) + 1;
+                sys.rowclone(agent, src, dst, mask)?;
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Outcome of verifying one trace file against one backend.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReplayVerification {
+    /// Header of the replayed file.
+    pub header: TraceHeader,
+    /// Footer recorded with the file.
+    pub recorded: TraceSummary,
+    /// Responses produced by the replay.
+    pub responses: u64,
+    /// Response digest produced by the replay.
+    pub response_digest: u64,
+    /// Final [`BackendStats`] of the replaying backend.
+    pub stats: BackendStats,
+    /// Final DRAM state digest of the replaying backend — equal across
+    /// any two backends that replayed the same file.
+    pub state_digest: u64,
+}
+
+impl ReplayVerification {
+    /// True when the replay reproduced the recorded run bit-for-bit.
+    #[must_use]
+    pub fn matches(&self) -> bool {
+        self.responses == self.recorded.responses
+            && self.response_digest == self.recorded.response_digest
+            && self.stats == self.recorded.stats
+    }
+}
+
+/// Streams a trace file into a fresh backend of `kind` and verifies it
+/// against the recorded footer. Constant-memory: events are serviced as
+/// they decode.
+///
+/// # Errors
+///
+/// Decode errors, [`Error::TraceFormat`] for an unknown config label,
+/// [`Error::TraceConfigMismatch`] when the label resolves to a different
+/// configuration than the recording's, and backend service errors.
+pub fn replay_file<R: Read>(reader: R, kind: BackendKind) -> Result<ReplayVerification> {
+    let mut reader = TraceReader::new(reader)?;
+    let cfg = config_for_label(&reader.header().label).ok_or_else(|| {
+        Error::TraceFormat(format!(
+            "unknown config label {:?} (known: paper_table2, paper_table2_noiseless, \
+             paper_table2_noiseless+banks:N)",
+            reader.header().label
+        ))
+    })?;
+    reader.expect_config(&cfg)?;
+    let mut backend: DynBackend = kind.backend(&cfg);
+    let (responses, digest) = impact_core::trace::replay_digest(
+        std::iter::from_fn(|| reader.next_event().transpose()),
+        &mut backend,
+    )?;
+    let recorded = reader
+        .summary()
+        .expect("stream ended with a footer")
+        .clone();
+    Ok(ReplayVerification {
+        header: reader.header().clone(),
+        recorded,
+        responses,
+        response_digest: digest,
+        stats: backend.backend_stats(),
+        state_digest: backend.dram_state_digest(),
+    })
+}
+
+/// Where two traces diverged.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DiffOutcome {
+    /// Streams are event-identical with matching footers.
+    Identical {
+        /// Events compared.
+        events: u64,
+    },
+    /// Headers differ (field-by-field description).
+    HeaderMismatch(Vec<String>),
+    /// First divergent event.
+    EventMismatch {
+        /// Zero-based index of the first divergent event.
+        index: u64,
+        /// The event in the left stream (`None`: stream ended early).
+        left: Option<TraceEvent>,
+        /// The event in the right stream (`None`: stream ended early).
+        right: Option<TraceEvent>,
+        /// Up to three shared events immediately before the divergence.
+        context: Vec<TraceEvent>,
+    },
+    /// Events identical, footers differ.
+    SummaryMismatch {
+        /// Left footer.
+        left: TraceSummary,
+        /// Right footer.
+        right: TraceSummary,
+    },
+}
+
+/// Streaming event-by-event comparison of two trace files; reports the
+/// first divergence with surrounding context.
+///
+/// # Errors
+///
+/// Propagates decode errors from either stream.
+pub fn diff_readers<A: Read, B: Read>(a: A, b: B) -> Result<DiffOutcome> {
+    let mut left = TraceReader::new(a)?;
+    let mut right = TraceReader::new(b)?;
+    let mut header_diffs = Vec::new();
+    let (ha, hb) = (left.header().clone(), right.header().clone());
+    if ha.version != hb.version {
+        header_diffs.push(format!("version: {} vs {}", ha.version, hb.version));
+    }
+    if ha.fingerprint != hb.fingerprint {
+        header_diffs.push(format!(
+            "config fingerprint: {:#018x} vs {:#018x}",
+            ha.fingerprint, hb.fingerprint
+        ));
+    }
+    if ha.seed != hb.seed {
+        header_diffs.push(format!("seed: {} vs {}", ha.seed, hb.seed));
+    }
+    if ha.label != hb.label {
+        header_diffs.push(format!("config label: {:?} vs {:?}", ha.label, hb.label));
+    }
+    if !header_diffs.is_empty() {
+        return Ok(DiffOutcome::HeaderMismatch(header_diffs));
+    }
+
+    let mut context: std::collections::VecDeque<TraceEvent> = std::collections::VecDeque::new();
+    let mut index = 0u64;
+    loop {
+        let (ea, eb) = (left.next_event()?, right.next_event()?);
+        match (ea, eb) {
+            (None, None) => break,
+            (ea, eb) if ea == eb => {
+                if context.len() == 3 {
+                    context.pop_front();
+                }
+                context.push_back(ea.expect("both Some when equal and not both None"));
+                index += 1;
+            }
+            (ea, eb) => {
+                return Ok(DiffOutcome::EventMismatch {
+                    index,
+                    left: ea,
+                    right: eb,
+                    context: context.into_iter().collect(),
+                });
+            }
+        }
+    }
+    let sa = left.summary().expect("footer parsed").clone();
+    let sb = right.summary().expect("footer parsed").clone();
+    if sa == sb {
+        Ok(DiffOutcome::Identical { events: index })
+    } else {
+        Ok(DiffOutcome::SummaryMismatch {
+            left: sa,
+            right: sb,
+        })
+    }
+}
+
+/// First divergent index between two in-memory event slices (`None` when
+/// equal) — the slice-level core of `trace_replay diff`, used directly by
+/// the end-to-end tests.
+#[must_use]
+pub fn first_divergence(a: &[TraceEvent], b: &[TraceEvent]) -> Option<u64> {
+    let shared = a.len().min(b.len());
+    for (i, (ea, eb)) in a.iter().zip(b).enumerate() {
+        if ea != eb {
+            return Some(i as u64);
+        }
+    }
+    (a.len() != b.len()).then_some(shared as u64)
+}
+
+/// Summarizes a trace file's request mix (`trace_replay stats`).
+///
+/// # Errors
+///
+/// As for [`replay_file`], minus the service step.
+pub fn trace_stats<R: Read>(reader: R) -> Result<(TraceHeader, RequestMix, TraceSummary)> {
+    let captured = CapturedTrace::read_from(reader)?;
+    let cfg = config_for_label(&captured.header.label).ok_or_else(|| {
+        Error::TraceFormat(format!("unknown config label {:?}", captured.header.label))
+    })?;
+    captured.header.expect_config(&cfg)?;
+    let probe = BackendKind::Mono.backend(&cfg);
+    let mix = captured.mix(&probe);
+    Ok((captured.header, mix, captured.summary))
+}
+
+/// A captured trace as a sweepable [`Scenario`]: x sweeps the replayed
+/// prefix (fraction of events), y reports mean response latency in
+/// cycles/op on a fresh backend per point. Because responses are
+/// backend-invariant, the produced [`Series`] is bit-identical on every
+/// entry of the backend matrix — captured workloads inherit the suite's
+/// reproducibility contract for free.
+#[derive(Debug, Clone)]
+pub struct TraceScenario {
+    captured: Arc<CapturedTrace>,
+    cfg: SystemConfig,
+    backend: BackendKind,
+}
+
+impl TraceScenario {
+    /// Wraps a loaded capture for replay on `backend`, validating it end
+    /// to end: the label must resolve to the fingerprinted configuration
+    /// AND a full replay on `backend` must reproduce the recorded footer
+    /// (response count and digest). `eval` can then replay any prefix
+    /// without a fallible path.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::TraceFormat`] for an unknown config label or a capture
+    /// whose events fail to service or do not reproduce the footer;
+    /// [`Error::TraceConfigMismatch`] when label and fingerprint disagree.
+    pub fn new(captured: CapturedTrace, backend: BackendKind) -> Result<TraceScenario> {
+        let cfg = config_for_label(&captured.header.label).ok_or_else(|| {
+            Error::TraceFormat(format!("unknown config label {:?}", captured.header.label))
+        })?;
+        captured.header.expect_config(&cfg)?;
+        let mut probe = backend.backend(&cfg);
+        let replayed = captured.replay_prefix(&mut probe, captured.events.len())?;
+        if replayed.responses != captured.summary.responses
+            || replayed.response_digest != captured.summary.response_digest
+        {
+            return Err(Error::TraceFormat(format!(
+                "capture does not reproduce its own footer on {} \
+                 (recorded {} responses / digest {:#018x}, replayed {} / {:#018x})",
+                backend.label(),
+                captured.summary.responses,
+                captured.summary.response_digest,
+                replayed.responses,
+                replayed.response_digest,
+            )));
+        }
+        Ok(TraceScenario {
+            captured: Arc::new(captured),
+            cfg,
+            backend,
+        })
+    }
+
+    /// The wrapped capture.
+    #[must_use]
+    pub fn captured(&self) -> &CapturedTrace {
+        &self.captured
+    }
+}
+
+impl Scenario for TraceScenario {
+    fn name(&self) -> String {
+        "captured trace replay (cycles/op)".into()
+    }
+
+    fn seed(&self) -> u64 {
+        self.captured.header.seed
+    }
+
+    fn xs(&self) -> Vec<f64> {
+        vec![0.25, 0.5, 0.75, 1.0]
+    }
+
+    fn eval(&self, x: f64, _rng: &mut SimRng) -> f64 {
+        let events = (self.captured.events.len() as f64 * x).round() as usize;
+        let mut backend = self.backend.backend(&self.cfg);
+        let replayed = self
+            .captured
+            .replay_prefix(&mut backend, events)
+            .expect("full replay was validated by TraceScenario::new");
+        if replayed.responses == 0 {
+            0.0
+        } else {
+            replayed.total_latency as f64 / replayed.responses as f64
+        }
+    }
+}
+
+/// Builds the `fig_all --trace` figure: the [`TraceScenario`] sweep plus
+/// a request-mix note line.
+#[must_use]
+pub fn trace_figure(scenario: &TraceScenario, series: Series) -> Figure {
+    let probe = BackendKind::Mono.backend(&scenario.cfg);
+    let mix = scenario.captured().mix(&probe);
+    let summary = &scenario.captured().summary;
+    Figure::new(
+        "trace",
+        "Captured-trace workload replay",
+        "fraction of trace replayed",
+        "mean response latency (cycles/op)",
+    )
+    .with_series(series)
+    .with_note(format!(
+        "{} events, {} responses; mix: {} loads, {} stores, {} pim, {} rowclone, {} inject \
+         ({} batches, max {}); recorded digest {:#018x}",
+        summary.events,
+        summary.responses,
+        mix.loads,
+        mix.stores,
+        mix.pims,
+        mix.rowclones,
+        mix.injects,
+        mix.batches,
+        mix.max_batch,
+        summary.response_digest,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_capture(kind: CaptureKind, backend: BackendKind) -> (Vec<u8>, CaptureOutcome) {
+        let buf = SharedVec::default();
+        let outcome = record_capture(kind, backend, true, 0x7ACE, Box::new(buf.clone())).unwrap();
+        (buf.take(), outcome)
+    }
+
+    /// Shared growable sink so tests can get bytes back out of the boxed
+    /// writer.
+    #[derive(Clone, Default)]
+    struct SharedVec(std::sync::Arc<std::sync::Mutex<Vec<u8>>>);
+
+    impl SharedVec {
+        fn take(&self) -> Vec<u8> {
+            std::mem::take(&mut self.0.lock().unwrap())
+        }
+    }
+
+    impl Write for SharedVec {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            self.0.lock().unwrap().extend_from_slice(buf);
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn config_labels_resolve_and_fingerprint() {
+        for label in ["paper_table2", "paper_table2_noiseless"] {
+            let cfg = config_for_label(label).unwrap();
+            let header = TraceHeader::for_config(&cfg, label, 0);
+            assert!(header
+                .expect_config(&config_for_label(label).unwrap())
+                .is_ok());
+        }
+        let banks = config_for_label("paper_table2_noiseless+banks:1024").unwrap();
+        assert_eq!(banks.dram_geometry.total_banks(), 1024);
+        assert!(config_for_label("paper_table2_noiseless+banks:6").is_none());
+        assert!(config_for_label("nope").is_none());
+    }
+
+    #[test]
+    fn capture_kinds_parse() {
+        for kind in [CaptureKind::Mix, CaptureKind::Pnm, CaptureKind::Bfs] {
+            assert_eq!(CaptureKind::parse(kind.name()), Some(kind));
+        }
+        assert_eq!(CaptureKind::parse("nope"), None);
+    }
+
+    #[test]
+    fn recorded_capture_replays_on_every_backend() {
+        let (bytes, outcome) = quick_capture(CaptureKind::Mix, BackendKind::Mono);
+        assert!(outcome.summary.responses > 0);
+        let mut state_digests = Vec::new();
+        for kind in [
+            BackendKind::Mono,
+            BackendKind::Sharded(4),
+            BackendKind::Traced,
+        ] {
+            let v = replay_file(&bytes[..], kind).unwrap();
+            assert!(v.matches(), "{} diverged: {v:?}", kind.label());
+            state_digests.push(v.state_digest);
+        }
+        state_digests.dedup();
+        assert_eq!(state_digests.len(), 1, "DRAM state digests diverged");
+        assert_eq!(state_digests[0], outcome.state_digest);
+    }
+
+    #[test]
+    fn captures_are_backend_invariant_byte_for_byte() {
+        let (mono, _) = quick_capture(CaptureKind::Mix, BackendKind::Mono);
+        let (sharded, _) = quick_capture(CaptureKind::Mix, BackendKind::Sharded(4));
+        assert_eq!(mono, sharded, "recorded bytes differ across backends");
+        assert!(matches!(
+            diff_readers(&mono[..], &sharded[..]).unwrap(),
+            DiffOutcome::Identical { .. }
+        ));
+    }
+
+    #[test]
+    fn pnm_and_bfs_captures_record_and_replay() {
+        for kind in [CaptureKind::Pnm, CaptureKind::Bfs] {
+            let (bytes, outcome) = quick_capture(kind, BackendKind::Mono);
+            assert!(outcome.summary.responses > 0, "{} empty", kind.name());
+            let v = replay_file(&bytes[..], BackendKind::Sharded(2)).unwrap();
+            assert!(v.matches(), "{} diverged", kind.name());
+        }
+    }
+
+    #[test]
+    fn diff_pinpoints_divergence_and_context() {
+        let (bytes, _) = quick_capture(CaptureKind::Mix, BackendKind::Mono);
+        let captured = CapturedTrace::read_from(&bytes[..]).unwrap();
+        let mut mutated = captured.clone();
+        let target = mutated.events.len() / 2;
+        match &mut mutated.events[target] {
+            TraceEvent::Request(req) => req.actor ^= 1,
+            TraceEvent::Batch(reqs) => reqs.clear(),
+            TraceEvent::Inject { row, .. } => *row ^= 1,
+        }
+        let mutated_bytes = impact_core::trace::write_trace(
+            Vec::new(),
+            &mutated.header,
+            &mutated.events,
+            &mutated.summary,
+        )
+        .unwrap();
+        match diff_readers(&bytes[..], &mutated_bytes[..]).unwrap() {
+            DiffOutcome::EventMismatch {
+                index,
+                left,
+                right,
+                context,
+            } => {
+                assert_eq!(index, target as u64);
+                assert!(left.is_some() && right.is_some());
+                assert!(context.len() <= 3);
+                assert_eq!(
+                    context.last(),
+                    captured.events.get(target - 1),
+                    "context must be the events before the divergence"
+                );
+            }
+            other => panic!("expected EventMismatch, got {other:?}"),
+        }
+        assert_eq!(
+            first_divergence(&captured.events, &mutated.events),
+            Some(target as u64)
+        );
+        assert_eq!(first_divergence(&captured.events, &captured.events), None);
+        // Length mismatch diverges at the shorter length.
+        assert_eq!(
+            first_divergence(&captured.events[..4], &captured.events),
+            Some(4)
+        );
+    }
+
+    #[test]
+    fn stats_summarize_the_mix() {
+        let (bytes, _) = quick_capture(CaptureKind::Mix, BackendKind::Mono);
+        let (header, mix, summary) = trace_stats(&bytes[..]).unwrap();
+        assert_eq!(header.label, "paper_table2");
+        assert!(mix.loads > 0 && mix.stores > 0 && mix.pims > 0);
+        assert!(mix.rowclones > 0 && mix.batches > 0);
+        assert!(mix.injects > 0, "paper_table2 noise must inject");
+        assert_eq!(mix.per_bank.len(), 16);
+        assert!(summary.responses >= mix.loads + mix.stores);
+    }
+
+    #[test]
+    fn trace_scenario_series_is_backend_invariant() {
+        let (bytes, _) = quick_capture(CaptureKind::Mix, BackendKind::Mono);
+        let captured = CapturedTrace::read_from(&bytes[..]).unwrap();
+        let mono = TraceScenario::new(captured.clone(), BackendKind::Mono)
+            .unwrap()
+            .run();
+        assert_eq!(mono.points.len(), 4);
+        assert!(mono.points.iter().all(|&(_, y)| y > 0.0));
+        for kind in [BackendKind::Sharded(4), BackendKind::Traced] {
+            let other = TraceScenario::new(captured.clone(), kind).unwrap().run();
+            assert!(
+                crate::runner::series_bits_eq(&mono, &other),
+                "{} diverged",
+                kind.label()
+            );
+        }
+        // And the figure wrapper carries the mix note.
+        let scenario = TraceScenario::new(captured, BackendKind::Mono).unwrap();
+        let fig = trace_figure(&scenario, mono);
+        assert_eq!(fig.id, "trace");
+        assert!(fig.notes[0].contains("events"));
+    }
+
+    #[test]
+    fn trace_scenario_rejects_unreplayable_captures() {
+        use impact_core::addr::PhysAddr;
+        use impact_core::engine::MemRequest;
+        use impact_core::time::Cycles;
+        let (bytes, _) = quick_capture(CaptureKind::Mix, BackendKind::Mono);
+
+        // An out-of-range request must surface as an error from new(),
+        // not a panic inside eval()/the sweep workers.
+        let mut bad = CapturedTrace::read_from(&bytes[..]).unwrap();
+        bad.events.push(TraceEvent::Request(MemRequest::load(
+            PhysAddr(u64::MAX),
+            Cycles(0),
+            0,
+        )));
+        bad.summary.events += 1;
+        assert!(TraceScenario::new(bad, BackendKind::Mono).is_err());
+
+        // A footer that doesn't match the events (here: a silently dropped
+        // tail) is rejected too.
+        let mut short = CapturedTrace::read_from(&bytes[..]).unwrap();
+        short.events.truncate(short.events.len() / 2);
+        short.summary.events = short.events.len() as u64;
+        assert!(matches!(
+            TraceScenario::new(short, BackendKind::Mono),
+            Err(Error::TraceFormat(msg)) if msg.contains("footer")
+        ));
+    }
+
+    #[test]
+    fn replay_rejects_unknown_labels() {
+        let (bytes, _) = quick_capture(CaptureKind::Mix, BackendKind::Mono);
+        let captured = CapturedTrace::read_from(&bytes[..]).unwrap();
+        let mut bad = captured;
+        bad.header.label = "mystery".into();
+        let bad_bytes =
+            impact_core::trace::write_trace(Vec::new(), &bad.header, &bad.events, &bad.summary)
+                .unwrap();
+        assert!(matches!(
+            replay_file(&bad_bytes[..], BackendKind::Mono),
+            Err(Error::TraceFormat(_))
+        ));
+        // A label that resolves to a *different* config is caught by the
+        // fingerprint.
+        let mut wrong = CapturedTrace::read_from(&bytes[..]).unwrap();
+        wrong.header.label = "paper_table2_noiseless".into();
+        let wrong_bytes = impact_core::trace::write_trace(
+            Vec::new(),
+            &wrong.header,
+            &wrong.events,
+            &wrong.summary,
+        )
+        .unwrap();
+        assert!(matches!(
+            replay_file(&wrong_bytes[..], BackendKind::Mono),
+            Err(Error::TraceConfigMismatch { .. })
+        ));
+    }
+}

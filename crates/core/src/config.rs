@@ -5,6 +5,7 @@
 //! hierarchy, a two-level TLB and a DDR4-2400 main memory with 16 banks in
 //! 4 bank groups, 8 KiB rows, an open-row policy and a 100 ns row timeout.
 
+use crate::hash::{fnv1a_u64, FNV_OFFSET};
 use crate::time::Clock;
 
 /// DRAM geometry (Fig. 1 of the paper).
@@ -378,6 +379,73 @@ impl SystemConfig {
         self.dram_geometry = DramGeometry::with_total_banks(banks);
         self
     }
+
+    /// A deterministic 64-bit fingerprint over every configuration field.
+    ///
+    /// Two configurations fingerprint identically iff they are equal, up to
+    /// hash collisions; floating-point fields are folded by their IEEE-754
+    /// bits, so `-0.0` and `0.0` fingerprint differently (matching the
+    /// bit-exactness contract everywhere else in the workspace). Trace
+    /// files embed this fingerprint so a replay on a different machine can
+    /// prove it is driving the same simulated system the recording ran on.
+    #[must_use]
+    pub fn fingerprint(&self) -> u64 {
+        fn cache(mut h: u64, c: &CacheLevelConfig) -> u64 {
+            h = fnv1a_u64(h, c.size_bytes);
+            h = fnv1a_u64(h, u64::from(c.ways));
+            h = fnv1a_u64(h, u64::from(c.line_bytes));
+            h = fnv1a_u64(h, c.latency_cycles);
+            fnv1a_u64(
+                h,
+                match c.replacement {
+                    ReplacementKind::Lru => 0,
+                    ReplacementKind::Srrip => 1,
+                },
+            )
+        }
+        let mut h = FNV_OFFSET;
+        h = fnv1a_u64(h, self.clock.freq_ghz().to_bits());
+        h = fnv1a_u64(h, u64::from(self.cores));
+        h = cache(h, &self.l1d);
+        h = cache(h, &self.l2);
+        h = cache(h, &self.l3);
+        let t = &self.tlb;
+        h = fnv1a_u64(h, u64::from(t.l1_entries));
+        h = fnv1a_u64(h, t.l1_latency_cycles);
+        h = fnv1a_u64(h, u64::from(t.l2_entries));
+        h = fnv1a_u64(h, t.l2_latency_cycles);
+        h = fnv1a_u64(h, t.walk_latency_cycles);
+        let g = &self.dram_geometry;
+        h = fnv1a_u64(h, u64::from(g.channels));
+        h = fnv1a_u64(h, u64::from(g.ranks_per_channel));
+        h = fnv1a_u64(h, u64::from(g.bank_groups_per_rank));
+        h = fnv1a_u64(h, u64::from(g.banks_per_group));
+        h = fnv1a_u64(h, g.rows_per_bank);
+        h = fnv1a_u64(h, g.rows_per_subarray);
+        h = fnv1a_u64(h, g.row_bytes);
+        let d = &self.dram_timing;
+        for ns in [
+            d.t_rcd_ns,
+            d.t_rp_ns,
+            d.t_rc_ns,
+            d.t_cl_ns,
+            d.t_burst_ns,
+            d.row_timeout_ns,
+            d.conflict_overhead_ns,
+        ] {
+            h = fnv1a_u64(h, ns.to_bits());
+        }
+        h = fnv1a_u64(h, self.memctrl_overhead_cycles);
+        let p = &self.pim;
+        h = fnv1a_u64(h, p.pei_overhead_cycles);
+        h = fnv1a_u64(h, p.pcu_transport_cycles);
+        h = fnv1a_u64(h, u64::from(p.locality_monitor_entries));
+        h = fnv1a_u64(h, u64::from(p.locality_threshold));
+        let n = &self.noise;
+        h = fnv1a_u64(h, n.prefetcher_rate.to_bits());
+        h = fnv1a_u64(h, n.ptw_rate.to_bits());
+        fnv1a_u64(h, n.seed)
+    }
 }
 
 impl Default for SystemConfig {
@@ -444,6 +512,27 @@ mod tests {
         assert_eq!(cfg.l3.size_bytes, 64 << 20);
         assert_eq!(cfg.l3.ways, 32);
         assert_eq!(cfg.dram_geometry.total_banks(), 1024);
+    }
+
+    #[test]
+    fn fingerprints_separate_configurations() {
+        let base = SystemConfig::paper_table2();
+        assert_eq!(
+            base.fingerprint(),
+            SystemConfig::paper_table2().fingerprint()
+        );
+        let variants = [
+            SystemConfig::paper_table2_noiseless(),
+            SystemConfig::paper_table2().with_llc_size(64 << 20),
+            SystemConfig::paper_table2().with_llc_ways(32),
+            SystemConfig::paper_table2().with_total_banks(1024),
+        ];
+        for v in &variants {
+            assert_ne!(base.fingerprint(), v.fingerprint(), "{v:?}");
+        }
+        let mut timing_tweak = SystemConfig::paper_table2();
+        timing_tweak.dram_timing.t_rcd_ns += 0.5;
+        assert_ne!(base.fingerprint(), timing_tweak.fingerprint());
     }
 
     #[test]

@@ -37,6 +37,30 @@ pub enum Error {
     /// A memory-massaging request could not be satisfied (e.g. no free frame
     /// in the requested bank).
     MassagingFailed(String),
+    /// An on-disk trace stream was structurally invalid (bad magic, corrupt
+    /// varint, unknown event tag, inconsistent footer, unknown config
+    /// label).
+    TraceFormat(String),
+    /// An on-disk trace ended before its end-of-stream footer: the file was
+    /// truncated (e.g. an interrupted recording or partial copy).
+    TraceTruncated,
+    /// An on-disk trace was written by an incompatible codec version.
+    TraceVersionMismatch {
+        /// Version found in the trace header.
+        found: u32,
+        /// Version this build supports.
+        supported: u32,
+    },
+    /// An on-disk trace was recorded under a different system
+    /// configuration than the one offered for replay (fingerprints differ).
+    TraceConfigMismatch {
+        /// Configuration fingerprint recorded in the trace header.
+        found: u64,
+        /// Fingerprint of the configuration offered for replay.
+        expected: u64,
+    },
+    /// An I/O error while reading or writing a trace stream.
+    TraceIo(String),
 }
 
 impl fmt::Display for Error {
@@ -60,6 +84,24 @@ impl fmt::Display for Error {
             Error::InvalidRowClone(msg) => write!(f, "invalid rowclone operation: {msg}"),
             Error::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
             Error::MassagingFailed(msg) => write!(f, "memory massaging failed: {msg}"),
+            Error::TraceFormat(msg) => write!(f, "malformed trace stream: {msg}"),
+            Error::TraceTruncated => {
+                write!(f, "trace stream truncated before its end-of-stream footer")
+            }
+            Error::TraceVersionMismatch { found, supported } => {
+                write!(
+                    f,
+                    "trace codec version {found} unsupported (this build reads version {supported})"
+                )
+            }
+            Error::TraceConfigMismatch { found, expected } => {
+                write!(
+                    f,
+                    "trace recorded under config fingerprint {found:#018x}, \
+                     replay config fingerprints to {expected:#018x}"
+                )
+            }
+            Error::TraceIo(msg) => write!(f, "trace I/O error: {msg}"),
         }
     }
 }
@@ -87,6 +129,21 @@ mod tests {
         assert!(e.to_string().contains("bad"));
         let e = Error::MassagingFailed("bank full".into());
         assert!(e.to_string().contains("bank full"));
+        let e = Error::TraceFormat("bad magic".into());
+        assert!(e.to_string().contains("bad magic"));
+        assert!(Error::TraceTruncated.to_string().contains("truncated"));
+        let e = Error::TraceVersionMismatch {
+            found: 9,
+            supported: 1,
+        };
+        assert!(e.to_string().contains("version 9"));
+        let e = Error::TraceConfigMismatch {
+            found: 0xA,
+            expected: 0xB,
+        };
+        assert!(e.to_string().contains("0x000000000000000a"));
+        let e = Error::TraceIo("disk on fire".into());
+        assert!(e.to_string().contains("disk on fire"));
     }
 
     #[test]

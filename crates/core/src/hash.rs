@@ -1,0 +1,138 @@
+//! Deterministic, dependency-free hashing used across the workspace:
+//! FNV-1a folds for content digests (trace response digests, configuration
+//! fingerprints, DRAM state digests) and a fast multiplicative
+//! [`core::hash::Hasher`] for hot-path hash maps (the TLB index).
+//!
+//! Everything here is fully deterministic across runs, platforms and
+//! processes — a digest computed on one machine is comparable bit-for-bit
+//! with one computed on another, which is what makes digests meaningful
+//! inside portable trace files.
+
+use core::hash::{BuildHasherDefault, Hasher};
+
+/// FNV-1a 64-bit offset basis: the initial accumulator for every digest.
+pub const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// Folds one byte into an FNV-1a accumulator.
+#[inline]
+#[must_use]
+pub fn fnv1a_u8(hash: u64, byte: u8) -> u64 {
+    (hash ^ u64::from(byte)).wrapping_mul(FNV_PRIME)
+}
+
+/// Folds a `u64` (little-endian bytes) into an FNV-1a accumulator.
+#[inline]
+#[must_use]
+pub fn fnv1a_u64(mut hash: u64, value: u64) -> u64 {
+    for byte in value.to_le_bytes() {
+        hash = fnv1a_u8(hash, byte);
+    }
+    hash
+}
+
+/// Folds a byte slice into an FNV-1a accumulator.
+#[must_use]
+pub fn fnv1a_bytes(mut hash: u64, bytes: &[u8]) -> u64 {
+    for &byte in bytes {
+        hash = fnv1a_u8(hash, byte);
+    }
+    hash
+}
+
+/// A fast, deterministic multiplicative hasher (rustc-hash style) for
+/// in-process hash maps on integer keys. Not suitable for persisted
+/// digests — use the FNV-1a folds for those — but ideal where SipHash's
+/// per-lookup cost dominates, as in the TLB index maps.
+#[derive(Debug, Default, Clone)]
+pub struct FxHasher {
+    state: u64,
+}
+
+const FX_SEED: u64 = 0x517c_c1b7_2722_0a95;
+
+impl FxHasher {
+    #[inline]
+    fn fold(&mut self, word: u64) {
+        self.state = (self.state.rotate_left(5) ^ word).wrapping_mul(FX_SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.state
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        for chunk in bytes.chunks(8) {
+            let mut word = [0u8; 8];
+            word[..chunk.len()].copy_from_slice(chunk);
+            self.fold(u64::from_le_bytes(word));
+        }
+    }
+
+    #[inline]
+    fn write_u64(&mut self, value: u64) {
+        self.fold(value);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, value: usize) {
+        self.fold(value as u64);
+    }
+}
+
+/// `BuildHasher` for [`FxHasher`]-backed maps.
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    #[test]
+    fn fnv_matches_reference_vectors() {
+        // Standard FNV-1a test vectors.
+        assert_eq!(fnv1a_bytes(FNV_OFFSET, b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a_bytes(FNV_OFFSET, b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a_bytes(FNV_OFFSET, b"foobar"), 0x8594_4171_f739_67e8);
+    }
+
+    #[test]
+    fn fnv_u64_equals_byte_fold() {
+        let v = 0x0123_4567_89ab_cdef_u64;
+        assert_eq!(
+            fnv1a_u64(FNV_OFFSET, v),
+            fnv1a_bytes(FNV_OFFSET, &v.to_le_bytes())
+        );
+    }
+
+    #[test]
+    fn fx_hasher_is_deterministic_and_usable() {
+        let mut a = FxHasher::default();
+        a.write_u64(42);
+        let mut b = FxHasher::default();
+        b.write_u64(42);
+        assert_eq!(a.finish(), b.finish());
+        assert_ne!(a.finish(), FxHasher::default().finish());
+
+        let mut map: HashMap<u64, usize, FxBuildHasher> = HashMap::default();
+        for i in 0..100 {
+            map.insert(i, i as usize);
+        }
+        assert_eq!(map.get(&7), Some(&7));
+        assert_eq!(map.len(), 100);
+    }
+
+    #[test]
+    fn fx_write_bytes_pads_tail_chunk() {
+        let mut a = FxHasher::default();
+        a.write(&[1, 2, 3]);
+        let mut b = FxHasher::default();
+        b.write_u64(u64::from_le_bytes([1, 2, 3, 0, 0, 0, 0, 0]));
+        assert_eq!(a.finish(), b.finish());
+    }
+}

@@ -26,6 +26,7 @@ pub mod addr;
 pub mod config;
 pub mod engine;
 pub mod error;
+pub mod hash;
 pub mod rng;
 pub mod stats;
 pub mod time;
@@ -37,4 +38,4 @@ pub use engine::{BackendStats, MemRequest, MemResponse, MemoryBackend, ReqKind, 
 pub use error::{Error, Result};
 pub use rng::SimRng;
 pub use time::{Cycles, Nanos};
-pub use trace::{TraceEvent, TracingBackend};
+pub use trace::{TraceEvent, TraceHeader, TraceReader, TraceSummary, TraceWriter, TracingBackend};

@@ -156,6 +156,35 @@ impl Bank {
         &self.stats
     }
 
+    /// Folds the complete bank state — open row, timing bookkeeping, last
+    /// activator and statistics — into a running FNV-1a accumulator. Two
+    /// banks fold identically iff they are in identical states, which is
+    /// how trace replays prove "final DRAM state is bit-identical" across
+    /// backends and machines without shipping the state itself.
+    #[must_use]
+    pub fn fold_state(&self, mut hash: u64) -> u64 {
+        use impact_core::hash::fnv1a_u64;
+        let fold_opt = |h: u64, v: Option<u64>| match v {
+            None => fnv1a_u64(h, 0),
+            Some(v) => fnv1a_u64(fnv1a_u64(h, 1), v),
+        };
+        hash = fold_opt(hash, self.open_row);
+        hash = fnv1a_u64(hash, self.busy_until.0);
+        hash = fnv1a_u64(hash, self.last_use.0);
+        hash = fold_opt(hash, self.last_activator.map(u64::from));
+        let BankStats {
+            hits,
+            misses,
+            conflicts,
+            activations,
+            rowclones,
+        } = self.stats;
+        for counter in [hits, misses, conflicts, activations, rowclones] {
+            hash = fnv1a_u64(hash, counter);
+        }
+        hash
+    }
+
     /// Resets state and statistics.
     pub fn reset(&mut self) {
         *self = Bank::new();
@@ -469,6 +498,30 @@ mod tests {
         assert_eq!(b.raw_open_row(), None);
         assert_eq!(b.last_activator(), None);
         assert_eq!(b.stats().total_accesses(), 0);
+    }
+
+    #[test]
+    fn state_fold_separates_states() {
+        use impact_core::hash::FNV_OFFSET;
+        let t = timing();
+        let p = RowPolicy::open_page();
+        let fresh = Bank::new().fold_state(FNV_OFFSET);
+        assert_eq!(fresh, Bank::new().fold_state(FNV_OFFSET));
+
+        let mut a = Bank::new();
+        a.access(5, Cycles(0), 3, &t, p);
+        let mut b = Bank::new();
+        b.access(5, Cycles(0), 3, &t, p);
+        assert_eq!(a.fold_state(FNV_OFFSET), b.fold_state(FNV_OFFSET));
+        assert_ne!(a.fold_state(FNV_OFFSET), fresh);
+
+        // A different actor leaves the same timing but a different digest.
+        let mut c = Bank::new();
+        c.access(5, Cycles(0), 4, &t, p);
+        assert_ne!(a.fold_state(FNV_OFFSET), c.fold_state(FNV_OFFSET));
+
+        a.reset();
+        assert_eq!(a.fold_state(FNV_OFFSET), fresh);
     }
 }
 

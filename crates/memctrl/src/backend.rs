@@ -101,6 +101,13 @@ pub trait ControllerBackend: MemoryBackend {
 
     /// Statistics of one flat bank.
     fn dram_bank_stats(&self, bank: usize) -> BankStats;
+
+    /// Deterministic digest of the complete per-bank DRAM state (open
+    /// rows, busy-until times, last activators, statistics), folded in
+    /// flat-bank order. Two backends — of any kind, on any machine — are
+    /// in bit-identical DRAM states iff their digests match; this is the
+    /// check `trace_replay` runs after re-servicing a recorded trace.
+    fn dram_state_digest(&self) -> u64;
 }
 
 impl ControllerBackend for MemoryController {
@@ -122,6 +129,14 @@ impl ControllerBackend for MemoryController {
 
     fn dram_bank_stats(&self, bank: usize) -> BankStats {
         self.dram().bank(bank).stats().clone()
+    }
+
+    fn dram_state_digest(&self) -> u64 {
+        let mut hash = impact_core::hash::FNV_OFFSET;
+        for bank in 0..self.dram().num_banks() {
+            hash = self.dram().bank(bank).fold_state(hash);
+        }
+        hash
     }
 }
 
@@ -145,6 +160,16 @@ impl ControllerBackend for ShardedController {
     fn dram_bank_stats(&self, bank: usize) -> BankStats {
         self.sub_for_bank(bank).dram().bank(bank).stats().clone()
     }
+
+    fn dram_state_digest(&self) -> u64 {
+        // Fold in *flat-bank* order, not per-shard order, so the digest is
+        // comparable with the monolithic controller's.
+        let mut hash = impact_core::hash::FNV_OFFSET;
+        for bank in 0..MemoryBackend::num_banks(self) {
+            hash = self.sub_for_bank(bank).dram().bank(bank).fold_state(hash);
+        }
+        hash
+    }
 }
 
 impl<B: ControllerBackend> ControllerBackend for TracingBackend<B> {
@@ -167,6 +192,10 @@ impl<B: ControllerBackend> ControllerBackend for TracingBackend<B> {
     fn dram_bank_stats(&self, bank: usize) -> BankStats {
         self.inner().dram_bank_stats(bank)
     }
+
+    fn dram_state_digest(&self) -> u64 {
+        self.inner().dram_state_digest()
+    }
 }
 
 impl<B: ControllerBackend + ?Sized> ControllerBackend for Box<B> {
@@ -188,6 +217,10 @@ impl<B: ControllerBackend + ?Sized> ControllerBackend for Box<B> {
 
     fn dram_bank_stats(&self, bank: usize) -> BankStats {
         (**self).dram_bank_stats(bank)
+    }
+
+    fn dram_state_digest(&self) -> u64 {
+        (**self).dram_state_digest()
     }
 }
 
@@ -329,6 +362,32 @@ mod tests {
             MemoryBackend::worst_case_latency(&mc),
             MemoryController::worst_case_latency(&mc)
         );
+    }
+
+    #[test]
+    fn dram_state_digest_is_backend_invariant() {
+        let cfg = SystemConfig::paper_table2();
+        let mut mono = MemoryController::from_config(&cfg);
+        let mut sharded = crate::ShardedController::from_config(&cfg, 4);
+        let mut traced =
+            impact_core::trace::TracingBackend::new(MemoryController::from_config(&cfg));
+        let fresh = mono.dram_state_digest();
+        assert_eq!(fresh, sharded.dram_state_digest());
+        assert_eq!(fresh, traced.dram_state_digest());
+
+        let reqs = stream(&mono);
+        for r in &reqs {
+            mono.service(r).unwrap();
+            MemoryBackend::service(&mut sharded, r).unwrap();
+            MemoryBackend::service(&mut traced, r).unwrap();
+        }
+        let after = mono.dram_state_digest();
+        assert_ne!(after, fresh, "traffic must move the digest");
+        assert_eq!(after, sharded.dram_state_digest());
+        assert_eq!(after, traced.dram_state_digest());
+        // Boxed backends forward the digest.
+        let boxed: Box<dyn ControllerBackend> = Box::new(mono);
+        assert_eq!(boxed.dram_state_digest(), after);
     }
 
     #[test]

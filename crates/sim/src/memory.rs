@@ -15,12 +15,23 @@
 use impact_core::addr::{PhysAddr, VirtAddr, PAGE_SIZE};
 use impact_core::config::DramGeometry;
 use impact_core::error::{Error, Result};
-use std::collections::HashMap;
+
+/// Second-level page-table fan-out: 512 slots per leaf, mirroring a real
+/// radix page table's 9 bits per level.
+const PT_LEAF_BITS: u64 = 9;
+const PT_LEAF_LEN: usize = 1 << PT_LEAF_BITS;
 
 /// A per-process virtual→physical page table.
+///
+/// Stored as a flat two-level radix array (a root vector of 512-entry
+/// leaves) instead of a `HashMap`: `translate` sits on the critical path
+/// of *every* simulated memory operation, and the radix walk is two
+/// bounds-checked array reads with no hashing. Leaves hold `pfn + 1`, with
+/// `0` marking an unmapped slot, so a leaf is a dense `u64` array.
 #[derive(Debug, Default, Clone)]
 pub struct PageTable {
-    map: HashMap<u64, u64>, // vpn -> pfn
+    leaves: Vec<Option<Box<[u64; PT_LEAF_LEN]>>>,
+    mapped: usize,
     next_vpn: u64,
 }
 
@@ -29,14 +40,24 @@ impl PageTable {
     #[must_use]
     pub fn new() -> PageTable {
         PageTable {
-            map: HashMap::new(),
+            leaves: Vec::new(),
+            mapped: 0,
             next_vpn: 0x100, // skip the null region
         }
     }
 
     /// Maps `vpn` to `pfn`, replacing any prior mapping.
     pub fn map_page(&mut self, vpn: u64, pfn: u64) {
-        self.map.insert(vpn, pfn);
+        let hi = (vpn >> PT_LEAF_BITS) as usize;
+        let lo = (vpn & (PT_LEAF_LEN as u64 - 1)) as usize;
+        if hi >= self.leaves.len() {
+            self.leaves.resize_with(hi + 1, || None);
+        }
+        let leaf = self.leaves[hi].get_or_insert_with(|| Box::new([0; PT_LEAF_LEN]));
+        if leaf[lo] == 0 {
+            self.mapped += 1;
+        }
+        leaf[lo] = pfn + 1;
     }
 
     /// Translates a virtual address.
@@ -46,11 +67,16 @@ impl PageTable {
     /// Returns [`Error::UnmappedVirtualAddress`] if the page is not mapped.
     pub fn translate(&self, va: VirtAddr) -> Result<PhysAddr> {
         let vpn = va.page_number();
-        let pfn = self
-            .map
-            .get(&vpn)
-            .ok_or(Error::UnmappedVirtualAddress { addr: va.0 })?;
-        Ok(PhysAddr(pfn * PAGE_SIZE + va.page_offset()))
+        let hi = (vpn >> PT_LEAF_BITS) as usize;
+        let lo = (vpn & (PT_LEAF_LEN as u64 - 1)) as usize;
+        let slot = match self.leaves.get(hi) {
+            Some(Some(leaf)) => leaf[lo],
+            _ => 0,
+        };
+        if slot == 0 {
+            return Err(Error::UnmappedVirtualAddress { addr: va.0 });
+        }
+        Ok(PhysAddr((slot - 1) * PAGE_SIZE + va.page_offset()))
     }
 
     /// Reserves `pages` consecutive virtual pages, returning the base VA.
@@ -63,7 +89,7 @@ impl PageTable {
     /// Number of mapped pages.
     #[must_use]
     pub fn mapped_pages(&self) -> usize {
-        self.map.len()
+        self.mapped
     }
 }
 
@@ -166,6 +192,30 @@ mod tests {
         let pa = pt.translate(VirtAddr(5 * PAGE_SIZE + 123)).unwrap();
         assert_eq!(pa, PhysAddr(42 * PAGE_SIZE + 123));
         assert!(pt.translate(VirtAddr(0)).is_err());
+    }
+
+    #[test]
+    fn page_table_radix_edge_cases() {
+        let mut pt = PageTable::new();
+        // Remapping a page replaces, not double-counts.
+        pt.map_page(5, 42);
+        pt.map_page(5, 43);
+        assert_eq!(pt.mapped_pages(), 1);
+        assert_eq!(
+            pt.translate(VirtAddr(5 * PAGE_SIZE)).unwrap(),
+            PhysAddr(43 * PAGE_SIZE)
+        );
+        // Physical frame 0 is a valid mapping target.
+        pt.map_page(10_000, 0);
+        assert_eq!(pt.mapped_pages(), 2);
+        assert_eq!(
+            pt.translate(VirtAddr(10_000 * PAGE_SIZE)).unwrap(),
+            PhysAddr(0)
+        );
+        // Neighbors within the same leaf stay unmapped.
+        assert!(pt.translate(VirtAddr(10_001 * PAGE_SIZE)).is_err());
+        // VPNs far past every allocated leaf fail without allocating.
+        assert!(pt.translate(VirtAddr(0xdead_b000)).is_err());
     }
 
     #[test]

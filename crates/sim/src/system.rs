@@ -12,8 +12,12 @@
 //! experiment code written against those hooks runs unchanged on any
 //! backend.
 
+use std::io::Write;
+
 use impact_core::config::SystemConfig;
-use impact_core::trace::{TraceEvent, TracingBackend};
+use impact_core::engine::MemoryBackend;
+use impact_core::error::Result;
+use impact_core::trace::{TraceEvent, TraceHeader, TraceSummary, TraceWriter, TracingBackend};
 use impact_dram::{BankStats, RowPolicy};
 use impact_memctrl::{
     ControllerBackend, Defense, MemoryController, PeriodicBlock, ShardedController,
@@ -99,6 +103,49 @@ impl TracedSystem {
     /// Takes the recorded log, leaving an empty one behind.
     pub fn take_trace(&mut self) -> Vec<TraceEvent> {
         self.backend_mut().take_log()
+    }
+}
+
+/// Trace persistence, available on any engine whose backend is a tracing
+/// proxy (over *any* inner backend — mono, sharded, or boxed): start a
+/// recording with [`Engine::record_trace_to`], run any workload, then seal
+/// the file with [`Engine::finish_trace`]. This is the capture path behind
+/// `fig_all --record-trace` and `trace_replay record`.
+impl<B: MemoryBackend> Engine<TracingBackend<B>> {
+    /// Streams every subsequent memory event into `sink` as a versioned
+    /// on-disk trace. The header carries this engine's configuration
+    /// fingerprint plus `label` (a config name replay tools can resolve)
+    /// and `seed` (whatever seeds the recorded workload). Events bypass
+    /// the in-memory log, so arbitrarily long recordings run in constant
+    /// memory.
+    ///
+    /// # Errors
+    ///
+    /// Propagates header write failures as [`impact_core::Error::TraceIo`];
+    /// fails with [`impact_core::Error::TraceFormat`] when the backend has
+    /// already serviced traffic (recordings must start from pristine
+    /// backend state to be replayable from a fresh backend).
+    pub fn record_trace_to(
+        &mut self,
+        sink: Box<dyn Write + Send>,
+        label: &str,
+        seed: u64,
+    ) -> Result<()> {
+        let header = TraceHeader::for_config(self.config(), label, seed);
+        let writer = TraceWriter::new(sink, &header)?;
+        self.backend_mut().spill_to(writer)
+    }
+
+    /// Seals an active recording: writes the verifying footer (event and
+    /// response counts, response digest, final backend statistics) and
+    /// flushes. Returns `Ok(None)` when no recording is active.
+    ///
+    /// # Errors
+    ///
+    /// Surfaces deferred write errors from the recording, then footer
+    /// write/flush failures.
+    pub fn finish_trace(&mut self) -> Result<Option<TraceSummary>> {
+        self.backend_mut().finish_spill()
     }
 }
 
@@ -462,7 +509,6 @@ mod tests {
 
     #[test]
     fn traced_system_replays_to_identical_stats() {
-        use impact_core::engine::MemoryBackend;
         use impact_core::trace::replay;
         let cfg = SystemConfig::paper_table2();
         let mut t = TracedSystem::traced(cfg.clone());
@@ -480,6 +526,55 @@ mod tests {
         replay(t.trace_log(), &mut fresh).unwrap();
         assert_eq!(fresh.backend_stats(), t.backend().backend_stats());
         assert_eq!(fresh.dram().total_stats(), t.dram_totals());
+    }
+
+    #[test]
+    fn engine_records_a_replayable_trace_file() {
+        use impact_core::trace::{read_trace, replay};
+        use std::sync::{Arc, Mutex};
+
+        #[derive(Clone, Default)]
+        struct SharedBuf(Arc<Mutex<Vec<u8>>>);
+        impl std::io::Write for SharedBuf {
+            fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+                self.0.lock().unwrap().extend_from_slice(buf);
+                Ok(buf.len())
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+
+        let cfg = SystemConfig::paper_table2();
+        let buf = SharedBuf::default();
+        let mut sys = TracedSystem::traced(cfg.clone());
+        sys.record_trace_to(Box::new(buf.clone()), "paper_table2", 0xABC)
+            .unwrap();
+        let a = sys.spawn_agent();
+        for bank in 0..4 {
+            let va = sys.alloc_row_in_bank(a, bank).unwrap();
+            sys.warm_tlb(a, va, 2);
+            sys.load(a, va).unwrap();
+            sys.pim_op(a, va + 64).unwrap();
+            sys.load_direct_batch(a, &[va + 128, va + 192]).unwrap();
+        }
+        let summary = sys.finish_trace().unwrap().expect("recording was active");
+        assert!(sys.finish_trace().unwrap().is_none(), "already sealed");
+
+        let bytes = buf.0.lock().unwrap().clone();
+        let (header, events, decoded) = read_trace(&bytes[..]).unwrap();
+        assert_eq!(header.fingerprint, cfg.fingerprint());
+        assert_eq!(header.label, "paper_table2");
+        assert_eq!(header.seed, 0xABC);
+        assert_eq!(decoded, summary);
+        let mut fresh = MemoryController::from_config(&cfg);
+        replay(&events, &mut fresh).unwrap();
+        assert_eq!(fresh.backend_stats(), sys.backend().backend_stats());
+        assert_eq!(
+            fresh.dram_state_digest(),
+            sys.backend().dram_state_digest(),
+            "replayed DRAM state diverged"
+        );
     }
 
     #[test]

@@ -23,11 +23,13 @@
 //! assert!(!trace.ops().is_empty());
 //! ```
 
+pub mod captured;
 pub mod graph;
 pub mod kernels;
 pub mod replay;
 pub mod trace;
 
+pub use captured::{CapturedTrace, ReplayedPrefix, RequestMix};
 pub use graph::Graph;
 pub use replay::replay;
 pub use replay::ReplayReport;
