@@ -118,6 +118,92 @@ fn bench_memctrl_batch(c: &mut Criterion) {
     });
 }
 
+/// Parallel shard servicing vs the sequential sharded path vs the
+/// monolithic controller, at init-sweep batch sizes (one request per
+/// bank, the side-channel initialization shape). The 64-request point
+/// sits below the adaptive threshold, so `sharded:8:4` falls back to the
+/// sequential path there by design — routing overhead is the whole cost;
+/// the 1024/8192-request points are where the pool is expected to pay.
+fn bench_sharded_parallel(c: &mut Criterion) {
+    use impact_core::engine::MemoryBackend;
+    for (banks, size) in [(16u32, 64usize), (1024, 1024), (8192, 8192)] {
+        let cfg = if banks == 16 {
+            SystemConfig::paper_table2()
+        } else {
+            SystemConfig::paper_table2_noiseless().with_total_banks(banks)
+        };
+        let probe = MemoryController::from_config(&cfg);
+        let reqs: Vec<MemRequest> = (0..size)
+            .map(|i| {
+                let bank = i % banks as usize;
+                let row = ((i / banks as usize) % 8) as u64;
+                let addr = probe.mapping().compose(bank, row, 0);
+                MemRequest::load(addr, Cycles(i as u64 * 400), 0)
+            })
+            .collect();
+        let sum = |resps: Vec<impact_core::engine::MemResponse>| {
+            resps.iter().map(|r| r.latency.0).sum::<u64>()
+        };
+        c.bench_function(&format!("memctrl/mono_batch_{size}"), |b| {
+            let mut mc = MemoryController::from_config(&cfg);
+            b.iter(|| sum(mc.service_batch(&reqs).expect("batch")));
+        });
+        c.bench_function(&format!("memctrl/sharded_seq_batch_{size}"), |b| {
+            let mut sc = impact_memctrl::ShardedController::from_config(&cfg, 8);
+            b.iter(|| sum(MemoryBackend::service_batch(&mut sc, &reqs).expect("batch")));
+        });
+        c.bench_function(&format!("memctrl/sharded_parallel_vs_mono_{size}"), |b| {
+            let mut sc = impact_memctrl::ShardedController::from_config_parallel(&cfg, 8, 4);
+            b.iter(|| sum(MemoryBackend::service_batch(&mut sc, &reqs).expect("batch")));
+        });
+    }
+}
+
+/// The end-to-end init sweep the pool exists for: `pim_open_burst` over
+/// one row per bank of a 4096-bank device, through the whole engine
+/// (translation, TLB, burst eligibility), on the monolithic system vs
+/// `sharded:8` with 4 pool workers.
+fn bench_side_channel_init(c: &mut Criterion) {
+    use impact_sim::ShardedSystem;
+    let cfg = SystemConfig::paper_table2_noiseless().with_total_banks(4096);
+    c.bench_function("attacks/side_channel_init_mono", |b| {
+        b.iter_batched(
+            || {
+                let mut sys = System::new(cfg.clone());
+                let a = sys.spawn_agent();
+                let vas: Vec<_> = (0..4096)
+                    .map(|bank| {
+                        let va = sys.alloc_row_in_bank(a, bank).expect("alloc");
+                        sys.warm_tlb(a, va, 2);
+                        va
+                    })
+                    .collect();
+                (sys, a, vas)
+            },
+            |(mut sys, a, vas)| sys.pim_open_burst(a, &vas).expect("burst").len(),
+            BatchSize::SmallInput,
+        );
+    });
+    c.bench_function("attacks/side_channel_init_parallel", |b| {
+        b.iter_batched(
+            || {
+                let mut sys = ShardedSystem::sharded_parallel(cfg.clone(), 8, 4);
+                let a = sys.spawn_agent();
+                let vas: Vec<_> = (0..4096)
+                    .map(|bank| {
+                        let va = sys.alloc_row_in_bank(a, bank).expect("alloc");
+                        sys.warm_tlb(a, va, 2);
+                        va
+                    })
+                    .collect();
+                (sys, a, vas)
+            },
+            |(mut sys, a, vas)| sys.pim_open_burst(a, &vas).expect("burst").len(),
+            BatchSize::SmallInput,
+        );
+    });
+}
+
 /// The IMPACT-PnM transmit hot loop, batched (receiver probes through one
 /// `service_batch` burst per 16-bit chunk) vs the per-probe reference
 /// loop. Bit-identical outputs; the delta is pure simulator speed.
@@ -282,6 +368,8 @@ criterion_group!(
     bench_dram,
     bench_cache,
     bench_memctrl_batch,
+    bench_sharded_parallel,
+    bench_side_channel_init,
     bench_pnm_transmit,
     bench_system,
     bench_trace_codec,

@@ -7,6 +7,7 @@
 //! fig_all --csv fig2            # CSV output instead of text
 //! fig_all --jobs 4              # shard experiments over 4 worker threads
 //! fig_all --backend sharded:4   # run on a sharded memory backend
+//! fig_all --backend sharded:8:4 # ... with 4 pool workers servicing shards
 //! fig_all --backend traced      # ... or behind a tracing proxy
 //! fig_all --record-trace f.trace  # capture a replayable trace file
 //! fig_all --trace f.trace       # run a captured trace as an experiment
@@ -54,7 +55,7 @@ const ALL: [&str; 13] = [
 fn usage_exit(msg: &str) -> ! {
     eprintln!("{msg}");
     eprintln!(
-        "usage: fig_all [--quick] [--csv] [--jobs N|auto] [--backend mono|sharded[:N]|traced] \
+        "usage: fig_all [--quick] [--csv] [--jobs N|auto] [--backend mono|sharded[:N[:T]]|traced] \
          [--record-trace PATH] [--trace PATH] [EXPERIMENT...]"
     );
     eprintln!("experiments: {}", ALL.join(", "));

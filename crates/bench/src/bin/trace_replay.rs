@@ -2,8 +2,8 @@
 //!
 //! ```text
 //! trace_replay record --out run.trace [--scenario mix|pnm|bfs]
-//!                     [--backend mono|sharded[:N]|traced] [--quick] [--seed N]
-//! trace_replay replay run.trace [--backend mono|sharded[:N]|traced]
+//!                     [--backend mono|sharded[:N[:T]]|traced] [--quick] [--seed N]
+//! trace_replay replay run.trace [--backend mono|sharded[:N[:T]]|traced]
 //! trace_replay diff   a.trace b.trace
 //! trace_replay stats  run.trace
 //! ```
@@ -30,8 +30,8 @@ fn usage_exit(msg: &str) -> ! {
     eprintln!("{msg}");
     eprintln!(
         "usage: trace_replay record --out FILE [--scenario mix|pnm|bfs] \
-         [--backend mono|sharded[:N]|traced] [--quick] [--seed N]\n\
-         \x20      trace_replay replay FILE [--backend mono|sharded[:N]|traced]\n\
+         [--backend mono|sharded[:N[:T]]|traced] [--quick] [--seed N]\n\
+         \x20      trace_replay replay FILE [--backend mono|sharded[:N[:T]]|traced]\n\
          \x20      trace_replay diff A B\n\
          \x20      trace_replay stats FILE"
     );

@@ -568,7 +568,10 @@ mod tests {
         let mut state_digests = Vec::new();
         for kind in [
             BackendKind::Mono,
-            BackendKind::Sharded(4),
+            BackendKind::Sharded {
+                shards: 4,
+                workers: 1,
+            },
             BackendKind::Traced,
         ] {
             let v = replay_file(&bytes[..], kind).unwrap();
@@ -583,7 +586,13 @@ mod tests {
     #[test]
     fn captures_are_backend_invariant_byte_for_byte() {
         let (mono, _) = quick_capture(CaptureKind::Mix, BackendKind::Mono);
-        let (sharded, _) = quick_capture(CaptureKind::Mix, BackendKind::Sharded(4));
+        let (sharded, _) = quick_capture(
+            CaptureKind::Mix,
+            BackendKind::Sharded {
+                shards: 4,
+                workers: 1,
+            },
+        );
         assert_eq!(mono, sharded, "recorded bytes differ across backends");
         assert!(matches!(
             diff_readers(&mono[..], &sharded[..]).unwrap(),
@@ -596,7 +605,14 @@ mod tests {
         for kind in [CaptureKind::Pnm, CaptureKind::Bfs] {
             let (bytes, outcome) = quick_capture(kind, BackendKind::Mono);
             assert!(outcome.summary.responses > 0, "{} empty", kind.name());
-            let v = replay_file(&bytes[..], BackendKind::Sharded(2)).unwrap();
+            let v = replay_file(
+                &bytes[..],
+                BackendKind::Sharded {
+                    shards: 2,
+                    workers: 1,
+                },
+            )
+            .unwrap();
             assert!(v.matches(), "{} diverged", kind.name());
         }
     }
@@ -670,7 +686,13 @@ mod tests {
             .run();
         assert_eq!(mono.points.len(), 4);
         assert!(mono.points.iter().all(|&(_, y)| y > 0.0));
-        for kind in [BackendKind::Sharded(4), BackendKind::Traced] {
+        for kind in [
+            BackendKind::Sharded {
+                shards: 4,
+                workers: 1,
+            },
+            BackendKind::Traced,
+        ] {
             let other = TraceScenario::new(captured.clone(), kind).unwrap().run();
             assert!(
                 crate::runner::series_bits_eq(&mono, &other),

@@ -344,12 +344,19 @@ impl<W: Write> TraceWriter<W> {
         self.w
             .write_all(&response_digest.to_le_bytes())
             .map_err(|e| io_err(&e))?;
+        // Only the observable counters enter the on-disk footer: the
+        // scheduling diagnostics (parallel_batches / sequential_fallbacks)
+        // describe how the recording backend happened to execute batches
+        // and would make byte-identical traffic produce different files
+        // across worker-pool configurations.
         let BackendStats {
             accesses,
             rowclones,
             blocked,
             padded,
             partition_rejects,
+            parallel_batches: _,
+            sequential_fallbacks: _,
         } = *stats;
         for counter in [accesses, rowclones, blocked, padded, partition_rejects] {
             write_varint(&mut self.w, counter)?;
@@ -501,6 +508,8 @@ impl<R: Read> TraceReader<R> {
                 blocked: counters[2],
                 padded: counters[3],
                 partition_rejects: counters[4],
+                // Scheduling diagnostics are not part of the format.
+                ..BackendStats::default()
             },
         })
     }
@@ -640,6 +649,7 @@ mod tests {
                 blocked: 0,
                 padded: 2,
                 partition_rejects: 0,
+                ..BackendStats::default()
             },
         }
     }

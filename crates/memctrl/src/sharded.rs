@@ -22,6 +22,35 @@
 //! monolithic path), splits the lanes by owning shard, executes each
 //! shard's slice, and reassembles the per-lane outcomes in mask order.
 //!
+//! # Parallel shard servicing
+//!
+//! Banks are state-disjoint, so the per-shard request buckets of one
+//! [`MemoryBackend::service_batch`] call can execute concurrently. With
+//! [`ShardedController::set_workers`] (or
+//! [`ShardedController::from_config_parallel`]) the controller keeps a
+//! small persistent worker pool and, for batches of at least
+//! [`ShardedController::parallel_threshold`] requests touching more than
+//! one shard, hands each populated shard's *owned* sub-controller plus its
+//! bucket to a pool worker over a channel and collects them back — no
+//! shared mutable state, no `unsafe`. Everything observable is
+//! bit-identical to the sequential path at any worker count:
+//!
+//! * responses are scattered back into request order by index,
+//! * per-shard [`BackendStats`] and DRAM state live inside the
+//!   sub-controllers and are merged in stable shard order (never
+//!   completion order) by [`ShardedController::stats`] /
+//!   [`ShardedController::dram_totals`] / the state digest,
+//! * each bucket's execution depends only on its own shard's state.
+//!
+//! Batches below the threshold (or non-bucketable ones: RowClones, MPR,
+//! out-of-range addresses) take the sequential path, so small-batch
+//! workloads never pay dispatch overhead. The
+//! [`BackendStats::parallel_batches`] / [`BackendStats::sequential_fallbacks`]
+//! scheduling counters record which path ran; they are excluded from
+//! stats equality, so parallel and sequential runs still compare equal.
+//! The equivalence proof lives in the proptests below, in
+//! `tests/parallel_shards.rs`, and in the recorded-trace cross-checks.
+//!
 //! # Example
 //!
 //! ```
@@ -39,6 +68,9 @@
 //! # Ok::<(), impact_core::Error>(())
 //! ```
 
+use std::sync::mpsc;
+use std::thread;
+
 use impact_core::addr::PhysAddr;
 use impact_core::config::SystemConfig;
 use impact_core::engine::{BackendStats, MemRequest, MemResponse, MemoryBackend, ReqKind};
@@ -49,20 +81,118 @@ use impact_dram::{BankStats, RowPolicy};
 use crate::controller::{MemoryController, PeriodicBlock};
 use crate::defense::Defense;
 
+/// Default adaptive threshold: batches with fewer requests than this are
+/// serviced sequentially even when a worker pool is configured. Chosen so
+/// the quick experiment suite (bursts of at most a few hundred requests)
+/// never pays dispatch overhead, while the production-scale init sweeps
+/// (4096–8192 banks, one request per bank) always parallelize.
+pub const DEFAULT_PARALLEL_THRESHOLD: usize = 512;
+
+/// One unit of parallel work: a populated shard's *owned* sub-controller
+/// plus its request bucket, handed to a pool worker by value.
+struct ShardJob {
+    shard: usize,
+    sub: MemoryController,
+    /// Positions of this bucket's requests in the original batch.
+    indices: Vec<usize>,
+    reqs: Vec<MemRequest>,
+}
+
+/// A finished [`ShardJob`]: the sub-controller comes home together with
+/// the bucket's responses (or the worker's panic payload).
+struct ShardDone {
+    shard: usize,
+    sub: MemoryController,
+    indices: Vec<usize>,
+    result: thread::Result<Result<Vec<MemResponse>>>,
+}
+
+/// A small persistent pool servicing [`ShardJob`]s. Ownership of each
+/// sub-controller travels through the channels (there is no shared mutable
+/// state and no `unsafe`), and every job is keyed by its shard index, so
+/// neither worker assignment nor completion order is observable.
+struct WorkerPool {
+    job_txs: Vec<mpsc::Sender<ShardJob>>,
+    done_rx: mpsc::Receiver<ShardDone>,
+    handles: Vec<thread::JoinHandle<()>>,
+}
+
+impl WorkerPool {
+    fn spawn(workers: usize) -> WorkerPool {
+        let (done_tx, done_rx) = mpsc::channel();
+        let mut job_txs = Vec::with_capacity(workers);
+        let mut handles = Vec::with_capacity(workers);
+        for _ in 0..workers {
+            let (job_tx, job_rx) = mpsc::channel::<ShardJob>();
+            let done_tx = done_tx.clone();
+            handles.push(thread::spawn(move || {
+                while let Ok(mut job) = job_rx.recv() {
+                    // Catch panics so a poisoned bucket never deadlocks the
+                    // dispatcher waiting on `done_rx`; the payload is
+                    // re-thrown on the servicing thread.
+                    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                        job.sub.service_batch(&job.reqs)
+                    }));
+                    let done = ShardDone {
+                        shard: job.shard,
+                        sub: job.sub,
+                        indices: job.indices,
+                        result,
+                    };
+                    if done_tx.send(done).is_err() {
+                        break;
+                    }
+                }
+            }));
+            job_txs.push(job_tx);
+        }
+        WorkerPool {
+            job_txs,
+            done_rx,
+            handles,
+        }
+    }
+
+    fn size(&self) -> usize {
+        self.job_txs.len()
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        // Disconnect the job channels; workers drain and exit their loops.
+        self.job_txs.clear();
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
 /// N inner memory controllers, each serving the banks `b` with
 /// `b % shards == shard index`. See the module docs for the equivalence
-/// contract with the monolithic [`MemoryController`].
+/// contract with the monolithic [`MemoryController`] and for the parallel
+/// shard-servicing path.
 pub struct ShardedController {
     subs: Vec<MemoryController>,
     /// Top-level counters the sub-controllers cannot attribute: whole
-    /// masked RowClone operations (their lanes are split across shards).
+    /// masked RowClone operations (their lanes are split across shards)
+    /// and the batch scheduling diagnostics.
     local: BackendStats,
+    /// Worker threads servicing shard buckets concurrently; 1 = always
+    /// sequential.
+    workers: usize,
+    /// Minimum batch size for the parallel path.
+    parallel_threshold: usize,
+    /// Spawned by [`ShardedController::set_workers`], kept across batches
+    /// (sized to `workers`; `None` iff `workers == 1`).
+    pool: Option<WorkerPool>,
 }
 
 impl core::fmt::Debug for ShardedController {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
         f.debug_struct("ShardedController")
             .field("shards", &self.subs.len())
+            .field("workers", &self.workers)
             .field("banks", &self.num_banks())
             .field("defense", &self.defense().name())
             .finish()
@@ -72,7 +202,7 @@ impl core::fmt::Debug for ShardedController {
 impl ShardedController {
     /// Creates a controller with `shards` sub-controllers over the Table 2
     /// configuration in `cfg` (clamped to at least one shard and at most
-    /// one shard per bank).
+    /// one shard per bank), servicing batches sequentially.
     #[must_use]
     pub fn from_config(cfg: &SystemConfig, shards: usize) -> ShardedController {
         let banks = cfg.dram_geometry.total_banks() as usize;
@@ -82,13 +212,60 @@ impl ShardedController {
                 .map(|_| MemoryController::from_config(cfg))
                 .collect(),
             local: BackendStats::default(),
+            workers: 1,
+            parallel_threshold: DEFAULT_PARALLEL_THRESHOLD,
+            pool: None,
         }
+    }
+
+    /// [`ShardedController::from_config`] with `workers` pool threads
+    /// servicing shard buckets concurrently (see
+    /// [`ShardedController::set_workers`]).
+    #[must_use]
+    pub fn from_config_parallel(
+        cfg: &SystemConfig,
+        shards: usize,
+        workers: usize,
+    ) -> ShardedController {
+        let mut c = ShardedController::from_config(cfg, shards);
+        c.set_workers(workers);
+        c
     }
 
     /// Number of shards.
     #[must_use]
     pub fn shards(&self) -> usize {
         self.subs.len()
+    }
+
+    /// Sets the worker-pool size (clamped to at least 1 and at most one
+    /// worker per shard). 1 disables the parallel path entirely and tears
+    /// the pool down; larger sizes (re)spawn the persistent pool eagerly,
+    /// so no batch ever pays thread-spawn latency.
+    pub fn set_workers(&mut self, workers: usize) {
+        let workers = workers.clamp(1, self.subs.len());
+        if workers != self.workers {
+            self.workers = workers;
+            self.pool = (workers > 1).then(|| WorkerPool::spawn(workers));
+        }
+    }
+
+    /// Worker threads servicing shard buckets (1 = sequential).
+    #[must_use]
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Sets the adaptive threshold: batches with fewer requests stay on
+    /// the sequential path (clamped to at least 1).
+    pub fn set_parallel_threshold(&mut self, threshold: usize) {
+        self.parallel_threshold = threshold.max(1);
+    }
+
+    /// The adaptive batch-size threshold for the parallel path.
+    #[must_use]
+    pub fn parallel_threshold(&self) -> usize {
+        self.parallel_threshold
     }
 
     /// Shard index owning `bank`.
@@ -239,6 +416,79 @@ impl ShardedController {
             per_bank,
         })
     }
+
+    /// Services pre-bucketed scalar requests on the worker pool: each
+    /// populated shard's sub-controller is moved to a worker together with
+    /// its bucket and collected back afterwards. Observably identical to
+    /// the sequential bucket loop — responses are scattered into request
+    /// order, sub-controllers return to their slots, and result handling
+    /// runs in stable shard order regardless of completion order.
+    fn service_buckets_parallel(
+        &mut self,
+        by_shard: Vec<(Vec<usize>, Vec<MemRequest>)>,
+        total: usize,
+    ) -> Result<Vec<MemResponse>> {
+        // `set_workers` keeps the pool in lockstep with `workers`; the
+        // guard only covers the unreachable case of a dropped pool.
+        if !matches!(&self.pool, Some(p) if p.size() == self.workers) {
+            self.pool = Some(WorkerPool::spawn(self.workers));
+        }
+        let pool = self.pool.as_mut().expect("pool spawned above");
+
+        // Hand out the populated buckets round-robin in shard order. The
+        // assignment is deterministic, but nothing depends on it: jobs are
+        // keyed by shard index.
+        let mut slots: Vec<Option<MemoryController>> = self.subs.drain(..).map(Some).collect();
+        let mut dispatched = 0usize;
+        for (shard, (indices, reqs)) in by_shard.into_iter().enumerate() {
+            if reqs.is_empty() {
+                continue;
+            }
+            let sub = slots[shard].take().expect("sub-controller in its slot");
+            let job = ShardJob {
+                shard,
+                sub,
+                indices,
+                reqs,
+            };
+            pool.job_txs[dispatched % pool.size()]
+                .send(job)
+                .expect("pool worker alive");
+            dispatched += 1;
+        }
+
+        // Collect every sub-controller home before touching any result so
+        // the composite is whole even on the (unreachable, see
+        // `service_batch`) error path.
+        let mut outcomes = Vec::with_capacity(dispatched);
+        for _ in 0..dispatched {
+            let done = pool.done_rx.recv().expect("pool worker alive");
+            slots[done.shard] = Some(done.sub);
+            outcomes.push((done.shard, done.indices, done.result));
+        }
+        self.subs = slots
+            .into_iter()
+            .map(|s| s.expect("every shard restored"))
+            .collect();
+
+        // Stable shard order — never completion order — for panic/error
+        // propagation and response scatter.
+        outcomes.sort_unstable_by_key(|&(shard, ..)| shard);
+        let mut out = vec![None; total];
+        for (_, indices, result) in outcomes {
+            let resps = match result {
+                Ok(resps) => resps?,
+                Err(panic) => std::panic::resume_unwind(panic),
+            };
+            for (i, resp) in indices.into_iter().zip(resps) {
+                out[i] = Some(resp);
+            }
+        }
+        Ok(out
+            .into_iter()
+            .map(|r| r.expect("request served"))
+            .collect())
+    }
 }
 
 impl MemoryBackend for ShardedController {
@@ -264,13 +514,17 @@ impl MemoryBackend for ShardedController {
         // mid-flight (the serial contract applies state up to the first
         // failure): RowClones (cross-shard), partition defenses (can
         // reject) and out-of-range addresses all fall back to the
-        // in-order loop.
+        // in-order loop. The same infallibility is what makes the bucket
+        // order — and therefore the parallel path below — unobservable.
         let bucketable = !matches!(self.defense(), Defense::Mpr(_))
             && reqs.iter().all(|r| {
                 matches!(r.kind, ReqKind::Load | ReqKind::Store | ReqKind::Pim)
                     && self.subs[0].check_capacity(r.addr).is_ok()
             });
         if !bucketable {
+            if self.workers > 1 {
+                self.local.sequential_fallbacks += 1;
+            }
             return reqs.iter().map(|r| self.service(r)).collect();
         }
         let shards = self.subs.len();
@@ -280,6 +534,17 @@ impl MemoryBackend for ShardedController {
             let shard = self.shard_of(self.subs[0].mapping().flat_bank(req.addr));
             by_shard[shard].0.push(i);
             by_shard[shard].1.push(*req);
+        }
+        // Adaptive dispatch: the worker pool only pays off once the batch
+        // amortizes channel hand-off, so small batches (and single-shard
+        // ones) stay sequential.
+        let populated = by_shard.iter().filter(|(_, r)| !r.is_empty()).count();
+        if self.workers > 1 && populated > 1 && reqs.len() >= self.parallel_threshold {
+            self.local.parallel_batches += 1;
+            return self.service_buckets_parallel(by_shard, reqs.len());
+        }
+        if self.workers > 1 {
+            self.local.sequential_fallbacks += 1;
         }
         let mut out = vec![None; reqs.len()];
         for (shard, (indices, shard_reqs)) in by_shard.into_iter().enumerate() {
@@ -493,6 +758,113 @@ mod tests {
     }
 
     #[test]
+    fn worker_count_clamps_to_shards() {
+        let mut sc = ShardedController::from_config_parallel(&cfg(), 4, 64);
+        assert_eq!(sc.workers(), 4, "workers clamp to the shard count");
+        sc.set_workers(0);
+        assert_eq!(sc.workers(), 1);
+        sc.set_workers(2);
+        assert_eq!(sc.workers(), 2);
+        sc.set_parallel_threshold(0);
+        assert_eq!(sc.parallel_threshold(), 1);
+        let d = format!("{sc:?}");
+        assert!(d.contains("workers"), "{d}");
+    }
+
+    /// The parallel path produces bit-identical responses, stats and DRAM
+    /// state to both the sequential sharded path and the monolithic
+    /// controller, batch after batch on live (warm) state.
+    #[test]
+    fn parallel_batches_match_sequential_and_mono() {
+        let mut mono = MemoryController::from_config(&cfg());
+        let mut seq = ShardedController::from_config(&cfg(), 4);
+        let mut par = ShardedController::from_config_parallel(&cfg(), 4, 3);
+        par.set_parallel_threshold(1); // force the pool on every batch
+        let reqs = stream(&mono, 240, 0xBEEF);
+        let scalars: Vec<MemRequest> = reqs
+            .into_iter()
+            .filter(|r| !matches!(r.kind, ReqKind::RowClone { .. }))
+            .collect();
+        for chunk in scalars.chunks(48) {
+            let a = mono.service_batch(chunk).unwrap();
+            let b = MemoryBackend::service_batch(&mut seq, chunk).unwrap();
+            let c = MemoryBackend::service_batch(&mut par, chunk).unwrap();
+            assert_eq!(a, b);
+            assert_eq!(a, c);
+        }
+        assert_eq!(mono.backend_stats(), seq.backend_stats());
+        assert_eq!(mono.backend_stats(), par.backend_stats());
+        assert_eq!(mono.dram().total_stats(), par.dram_totals());
+        assert!(
+            par.backend_stats().parallel_batches > 0,
+            "threshold 1 must engage the pool"
+        );
+        assert_eq!(seq.backend_stats().parallel_batches, 0);
+    }
+
+    /// The scheduling counters prove which path serviced each batch
+    /// instead of leaving tests to infer it from timing.
+    #[test]
+    fn adaptive_threshold_engages_and_is_counted() {
+        let mut sc = ShardedController::from_config_parallel(&cfg(), 4, 2);
+        sc.set_parallel_threshold(32);
+        let probe = MemoryController::from_config(&cfg());
+        let reqs = stream(&probe, 200, 3);
+        let scalars: Vec<MemRequest> = reqs
+            .iter()
+            .copied()
+            .filter(|r| !matches!(r.kind, ReqKind::RowClone { .. }))
+            .collect();
+
+        // Below the threshold: sequential fallback.
+        MemoryBackend::service_batch(&mut sc, &scalars[..8]).unwrap();
+        assert_eq!(sc.backend_stats().parallel_batches, 0);
+        assert_eq!(sc.backend_stats().sequential_fallbacks, 1);
+
+        // At/above the threshold with multiple populated shards: parallel.
+        MemoryBackend::service_batch(&mut sc, &scalars[..64]).unwrap();
+        assert_eq!(sc.backend_stats().parallel_batches, 1);
+        assert_eq!(sc.backend_stats().sequential_fallbacks, 1);
+
+        // Non-bucketable batches (RowClones) always fall back.
+        let with_rc: Vec<MemRequest> = reqs.iter().copied().take(64).collect();
+        assert!(with_rc
+            .iter()
+            .any(|r| matches!(r.kind, ReqKind::RowClone { .. })));
+        MemoryBackend::service_batch(&mut sc, &with_rc).unwrap();
+        assert_eq!(sc.backend_stats().parallel_batches, 1);
+        assert_eq!(sc.backend_stats().sequential_fallbacks, 2);
+
+        // A sequential controller records no scheduling at all.
+        let mut seq = ShardedController::from_config(&cfg(), 4);
+        MemoryBackend::service_batch(&mut seq, &scalars[..64]).unwrap();
+        assert_eq!(seq.backend_stats().parallel_batches, 0);
+        assert_eq!(seq.backend_stats().sequential_fallbacks, 0);
+    }
+
+    /// Reconfiguring the pool size mid-stream neither loses state nor
+    /// changes observable behavior.
+    #[test]
+    fn pool_resize_preserves_equivalence() {
+        let mut mono = MemoryController::from_config(&cfg());
+        let mut par = ShardedController::from_config_parallel(&cfg(), 8, 2);
+        par.set_parallel_threshold(1);
+        let probe = MemoryController::from_config(&cfg());
+        let scalars: Vec<MemRequest> = stream(&probe, 180, 21)
+            .into_iter()
+            .filter(|r| !matches!(r.kind, ReqKind::RowClone { .. }))
+            .collect();
+        for (round, chunk) in scalars.chunks(40).enumerate() {
+            par.set_workers(1 + (round % 4)); // 1, 2, 3, 4, 1...
+            let a = mono.service_batch(chunk).unwrap();
+            let b = MemoryBackend::service_batch(&mut par, chunk).unwrap();
+            assert_eq!(a, b, "round {round} diverged");
+        }
+        assert_eq!(mono.backend_stats(), par.backend_stats());
+        assert_eq!(mono.dram().total_stats(), par.dram_totals());
+    }
+
+    #[test]
     fn surface_reports_topology() {
         let mut sharded = ShardedController::from_config(&cfg(), 4);
         assert_eq!(MemoryBackend::num_banks(&sharded), 16);
@@ -599,6 +971,68 @@ mod proptests {
             let b = MemoryBackend::service_batch(&mut sharded, &reqs).unwrap();
             prop_assert_eq!(a, b);
             prop_assert_eq!(mono.backend_stats(), sharded.backend_stats());
+        }
+
+        /// Parallel shard servicing is bit-identical to the sequential
+        /// sharded path and to the monolithic controller — responses,
+        /// merged stats, DRAM totals and the full DRAM state digest — for
+        /// arbitrary request batches (masked RowClones included) across
+        /// shards ∈ {1,2,3,8} × workers ∈ {1,2,4} × the defense matrix
+        /// (open, CTD, ACT, CRP, RFM blocking).
+        #[test]
+        fn parallel_matches_sequential_and_mono(
+            seed in 0u64..2500,
+            shard_sel in 0usize..4,
+            worker_sel in 0usize..3,
+            defense_sel in 0usize..5,
+        ) {
+            use crate::backend::ControllerBackend;
+            use crate::controller::PeriodicBlock;
+            use crate::defense::ActConfig;
+
+            let shards = [1usize, 2, 3, 8][shard_sel];
+            let workers = [1usize, 2, 4][worker_sel];
+            let cfg = SystemConfig::paper_table2();
+            let mut mono = MemoryController::from_config(&cfg);
+            let mut seq = ShardedController::from_config(&cfg, shards);
+            let mut par = ShardedController::from_config_parallel(&cfg, shards, workers);
+            par.set_parallel_threshold(4); // tiny batches still dispatch
+
+            // The swept defense matrix: a latency defense or the RFM
+            // periodic-blocking mechanism, applied identically everywhere.
+            let defense = match defense_sel {
+                0 => None,
+                1 => Some(Defense::Ctd),
+                2 => Some(Defense::Act(ActConfig::aggressive())),
+                3 => Some(Defense::Crp),
+                _ => None,
+            };
+            let blocking = (defense_sel == 4).then(PeriodicBlock::rfm_paper_default);
+            if let Some(d) = &defense {
+                mono.set_defense(d.clone());
+                seq.set_defense(d.clone());
+                par.set_defense(d.clone());
+            }
+            if let Some(b) = blocking {
+                mono.set_periodic_block(Some(b));
+                seq.set_periodic_block(Some(b));
+                par.set_periodic_block(Some(b));
+            }
+
+            let reqs = build_stream(seed, 54);
+            for chunk in reqs.chunks(18) {
+                let a = mono.service_batch(chunk).unwrap();
+                let b = MemoryBackend::service_batch(&mut seq, chunk).unwrap();
+                let c = MemoryBackend::service_batch(&mut par, chunk).unwrap();
+                prop_assert_eq!(&a, &b);
+                prop_assert_eq!(&a, &c);
+            }
+            prop_assert_eq!(mono.backend_stats(), seq.backend_stats());
+            prop_assert_eq!(mono.backend_stats(), par.backend_stats());
+            prop_assert_eq!(mono.dram().total_stats(), par.dram_totals());
+            let digest = ControllerBackend::dram_state_digest(&mono);
+            prop_assert_eq!(digest, ControllerBackend::dram_state_digest(&seq));
+            prop_assert_eq!(digest, ControllerBackend::dram_state_digest(&par));
         }
     }
 }

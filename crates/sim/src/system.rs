@@ -77,10 +77,22 @@ impl System {
 
 impl ShardedSystem {
     /// Builds the system over a [`ShardedController`] with `shards`
-    /// sub-controllers.
+    /// sub-controllers, serviced sequentially.
     #[must_use]
     pub fn sharded(cfg: SystemConfig, shards: usize) -> ShardedSystem {
         let backend = ShardedController::from_config(&cfg, shards);
+        Engine::with_backend(cfg, SimParams::default(), backend)
+    }
+
+    /// Builds the system over a [`ShardedController`] with `shards`
+    /// sub-controllers and a `workers`-thread pool servicing shard
+    /// buckets concurrently — observably identical to
+    /// [`ShardedSystem::sharded`] (and to [`System`]) at any worker
+    /// count; large request batches just complete in less wall-clock
+    /// time.
+    #[must_use]
+    pub fn sharded_parallel(cfg: SystemConfig, shards: usize, workers: usize) -> ShardedSystem {
+        let backend = ShardedController::from_config_parallel(&cfg, shards, workers);
         Engine::with_backend(cfg, SimParams::default(), backend)
     }
 }
@@ -183,8 +195,15 @@ pub enum BackendKind {
     /// The monolithic [`MemoryController`] (default).
     #[default]
     Mono,
-    /// [`ShardedController`] with the given shard count.
-    Sharded(usize),
+    /// [`ShardedController`] with the given shard count and worker-pool
+    /// size (`workers: 1` services shard buckets sequentially; more
+    /// workers service them concurrently, bit-identically).
+    Sharded {
+        /// Sub-controller count (banks are interleaved `bank % shards`).
+        shards: usize,
+        /// Worker threads servicing shard buckets per batch.
+        workers: usize,
+    },
     /// [`TracingBackend`] around the monolithic controller. Behind the
     /// type-erased [`DynBackend`] the log itself is not reachable — this
     /// kind exists to prove end-to-end transparency of the proxy (e.g.
@@ -195,26 +214,35 @@ pub enum BackendKind {
 }
 
 impl BackendKind {
-    /// Parses `"mono"`, `"sharded"` / `"sharded:N"` or `"traced"`.
+    /// Parses `"mono"`, `"sharded"` / `"sharded:N"` / `"sharded:N:T"`
+    /// (N shards serviced by T pool workers) or `"traced"`.
     #[must_use]
     pub fn parse(s: &str) -> Option<BackendKind> {
         match s {
             "mono" => Some(BackendKind::Mono),
             "traced" => Some(BackendKind::Traced),
-            "sharded" => Some(BackendKind::Sharded(4)),
+            "sharded" => Some(BackendKind::Sharded {
+                shards: 4,
+                workers: 1,
+            }),
             _ => {
-                let n = s.strip_prefix("sharded:")?.parse().ok()?;
-                Some(BackendKind::Sharded(n))
+                let rest = s.strip_prefix("sharded:")?;
+                let (shards, workers) = match rest.split_once(':') {
+                    None => (rest.parse().ok()?, 1),
+                    Some((n, t)) => (n.parse().ok()?, t.parse().ok()?),
+                };
+                Some(BackendKind::Sharded { shards, workers })
             }
         }
     }
 
-    /// Display label (`mono`, `sharded:4`, `traced`).
+    /// Display label (`mono`, `sharded:4`, `sharded:8:4`, `traced`).
     #[must_use]
     pub fn label(&self) -> String {
         match self {
             BackendKind::Mono => "mono".into(),
-            BackendKind::Sharded(n) => format!("sharded:{n}"),
+            BackendKind::Sharded { shards, workers: 1 } => format!("sharded:{shards}"),
+            BackendKind::Sharded { shards, workers } => format!("sharded:{shards}:{workers}"),
             BackendKind::Traced => "traced".into(),
         }
     }
@@ -224,7 +252,9 @@ impl BackendKind {
     pub fn backend(&self, cfg: &SystemConfig) -> DynBackend {
         match *self {
             BackendKind::Mono => Box::new(MemoryController::from_config(cfg)),
-            BackendKind::Sharded(n) => Box::new(ShardedController::from_config(cfg, n)),
+            BackendKind::Sharded { shards, workers } => Box::new(
+                ShardedController::from_config_parallel(cfg, shards, workers),
+            ),
             BackendKind::Traced => {
                 Box::new(TracingBackend::new(MemoryController::from_config(cfg)))
             }
@@ -493,13 +523,26 @@ mod tests {
             let mut s = ShardedSystem::sharded(cfg.clone(), shards);
             assert_eq!(exercise(&mut s), mono, "{shards} shards diverged");
         }
+        // Parallel shard servicing is equally invisible.
+        for workers in [2usize, 4] {
+            let mut s = ShardedSystem::sharded_parallel(cfg.clone(), 8, workers);
+            s.backend_mut().set_parallel_threshold(1);
+            assert_eq!(exercise(&mut s), mono, "{workers} workers diverged");
+        }
         let mut t = TracedSystem::traced(cfg.clone());
         assert_eq!(exercise(&mut t), mono, "traced system diverged");
         assert!(!t.trace_log().is_empty());
         // Runtime-selected backends agree too.
         for kind in [
             BackendKind::Mono,
-            BackendKind::Sharded(4),
+            BackendKind::Sharded {
+                shards: 4,
+                workers: 1,
+            },
+            BackendKind::Sharded {
+                shards: 8,
+                workers: 4,
+            },
             BackendKind::Traced,
         ] {
             let mut s = kind.system(cfg.clone());
@@ -581,13 +624,46 @@ mod tests {
     fn backend_kind_parses_and_labels() {
         assert_eq!(BackendKind::parse("mono"), Some(BackendKind::Mono));
         assert_eq!(BackendKind::parse("traced"), Some(BackendKind::Traced));
-        assert_eq!(BackendKind::parse("sharded"), Some(BackendKind::Sharded(4)));
+        assert_eq!(
+            BackendKind::parse("sharded"),
+            Some(BackendKind::Sharded {
+                shards: 4,
+                workers: 1
+            })
+        );
         assert_eq!(
             BackendKind::parse("sharded:8"),
-            Some(BackendKind::Sharded(8))
+            Some(BackendKind::Sharded {
+                shards: 8,
+                workers: 1
+            })
+        );
+        assert_eq!(
+            BackendKind::parse("sharded:8:4"),
+            Some(BackendKind::Sharded {
+                shards: 8,
+                workers: 4
+            })
         );
         assert_eq!(BackendKind::parse("nope"), None);
-        assert_eq!(BackendKind::Sharded(8).label(), "sharded:8");
+        assert_eq!(BackendKind::parse("sharded:8:"), None);
+        assert_eq!(BackendKind::parse("sharded:x:2"), None);
+        assert_eq!(
+            BackendKind::Sharded {
+                shards: 8,
+                workers: 1
+            }
+            .label(),
+            "sharded:8"
+        );
+        assert_eq!(
+            BackendKind::Sharded {
+                shards: 8,
+                workers: 4
+            }
+            .label(),
+            "sharded:8:4"
+        );
         assert_eq!(BackendKind::default(), BackendKind::Mono);
     }
 }

@@ -4,6 +4,7 @@
 use impact::attacks::side_channel::{SideChannelAttack, SideChannelConfig};
 use impact::attacks::{PnmCovertChannel, PumCovertChannel};
 use impact::core::config::SystemConfig;
+use impact::core::engine::MemoryBackend;
 use impact::core::rng::SimRng;
 use impact::sim::{BackendKind, ShardedSystem, System, TracedSystem};
 use impact::workloads::graph::Graph;
@@ -175,6 +176,22 @@ fn covert_channel_is_backend_invariant() {
         let r = ch.transmit(&mut sys, &msg).unwrap();
         assert_eq!(r, mono, "{shards} shards diverged from mono");
     }
+    // Parallel shard servicing enabled (and its threshold floored): the
+    // noisy config keeps the engine on its serial per-probe path, so the
+    // pool must stay idle — and a configured-but-idle pool must not
+    // perturb anything either.
+    for workers in [2usize, 4] {
+        let mut sys = ShardedSystem::sharded_parallel(SystemConfig::paper_table2(), 8, workers);
+        sys.backend_mut().set_parallel_threshold(1);
+        let mut ch = PnmCovertChannel::setup(&mut sys, 16).unwrap();
+        let r = ch.transmit(&mut sys, &msg).unwrap();
+        assert_eq!(r, mono, "{workers} pool workers diverged from mono");
+        assert_eq!(
+            sys.backend().backend_stats().parallel_batches,
+            0,
+            "noise keeps probes on the serial path; the pool must stay idle"
+        );
+    }
     let mut sys = TracedSystem::traced(SystemConfig::paper_table2());
     let mut ch = PnmCovertChannel::setup(&mut sys, 16).unwrap();
     assert_eq!(ch.transmit(&mut sys, &msg).unwrap(), mono);
@@ -211,6 +228,16 @@ fn side_channel_is_backend_invariant() {
         let r = attack().run(&mut sys).unwrap();
         assert_eq!(digest(&r), mono, "{shards} shards diverged");
     }
+    // With pool workers, the attack's 1024-bank init sweep crosses the
+    // default parallel threshold: same report, and the scheduling
+    // counters prove the pool actually serviced it.
+    let mut sys = ShardedSystem::sharded_parallel(cfg(), 8, 4);
+    let r = attack().run(&mut sys).unwrap();
+    assert_eq!(digest(&r), mono, "parallel shards diverged");
+    assert!(
+        sys.backend().backend_stats().parallel_batches > 0,
+        "the init sweep must have engaged the worker pool"
+    );
 }
 
 /// A traced run's request log replays into a fresh backend of the same
@@ -248,7 +275,20 @@ fn run_all_thread_count_is_invisible() {
             .filter(|j| keep.contains(&j.id()))
             .collect::<Vec<_>>()
     };
-    for backend in [BackendKind::Mono, BackendKind::Sharded(4)] {
+    // The parallel-sharded entry composes sweep-runner worker threads
+    // with the controller's own pool threads (threads inside threads);
+    // the output must stay bit-identical through both layers.
+    for backend in [
+        BackendKind::Mono,
+        BackendKind::Sharded {
+            shards: 4,
+            workers: 1,
+        },
+        BackendKind::Sharded {
+            shards: 4,
+            workers: 2,
+        },
+    ] {
         let jobs = pick(backend);
         let serial = SweepRunner::serial().run_all(&jobs, |_| {});
         for threads in [2, 4, 8] {
@@ -291,8 +331,18 @@ fn suite_is_backend_invariant() {
     };
     let mono = run(BackendKind::Mono);
     for backend in [
-        BackendKind::Sharded(2),
-        BackendKind::Sharded(8),
+        BackendKind::Sharded {
+            shards: 2,
+            workers: 1,
+        },
+        BackendKind::Sharded {
+            shards: 8,
+            workers: 1,
+        },
+        BackendKind::Sharded {
+            shards: 8,
+            workers: 4,
+        },
         BackendKind::Traced,
     ] {
         let other = run(backend);

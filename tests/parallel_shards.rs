@@ -1,0 +1,328 @@
+//! The parallel shard-servicing equivalence layer: proof that
+//! `ShardedController`'s worker pool is *observably invisible*.
+//!
+//! Banks are state-disjoint, so per-shard request buckets may execute
+//! concurrently — provided nothing about responses, merged statistics or
+//! DRAM state betrays the schedule. This suite pins that contract at
+//! every layer:
+//!
+//! * raw controller batches: parallel == sequential == monolithic for
+//!   mixed request streams across shard counts × pool sizes × defenses
+//!   (responses, merged `BackendStats`, DRAM totals, state digest);
+//! * the adaptive threshold: the scheduling counters prove which path
+//!   serviced each batch, including through the runtime-selected
+//!   (`BackendKind`) boxed backend;
+//! * the whole-system init sweep (the workload the pool exists for):
+//!   a 4096-bank `pim_open_burst` on `sharded:8` with 4 workers is
+//!   bit-identical to the monolithic system — and demonstrably took the
+//!   parallel path;
+//! * recorded traces: a capture recorded on the *monolithic* controller
+//!   replays digest-clean on `sharded:8` with 4 workers.
+
+use std::sync::{Arc, Mutex};
+
+use impact::core::config::SystemConfig;
+use impact::core::engine::{MemRequest, MemoryBackend, ReqKind};
+use impact::core::rng::SimRng;
+use impact::core::time::Cycles;
+use impact::memctrl::{
+    ActConfig, ControllerBackend, Defense, MemoryController, MprPartition, PeriodicBlock,
+    ShardedController,
+};
+use impact::sim::{BackendKind, ShardedSystem, System, TracedSystem};
+use impact_bench::trace_tools::replay_file;
+
+fn cfg() -> SystemConfig {
+    SystemConfig::paper_table2()
+}
+
+/// A mixed request stream over the Table 2 geometry: loads, stores, PiM
+/// ops and masked RowClones whose lanes straddle shard boundaries.
+fn stream(mc: &MemoryController, n: u64, seed: u64) -> Vec<MemRequest> {
+    let mut rng = SimRng::seed(seed);
+    let row_bytes = mc.dram().geometry().row_bytes;
+    let mut at = Cycles(0);
+    (0..n)
+        .map(|i| {
+            let req = if i % 11 == 10 {
+                let src = impact::core::addr::PhysAddr(64 * 16 * row_bytes * (1 + rng.below(3)));
+                let dst = impact::core::addr::PhysAddr(src.0 + 32 * 16 * row_bytes);
+                MemRequest::rowclone(src, dst, rng.below(u64::from(u16::MAX)).max(1), at, 0)
+            } else {
+                let addr = mc.mapping().compose(
+                    rng.below(16) as usize,
+                    rng.below(16),
+                    (rng.below(4) * 64) as u32,
+                );
+                let actor = rng.below(2) as u32;
+                match i % 3 {
+                    0 => MemRequest::store(addr, at, actor),
+                    1 => MemRequest::pim(addr, at, actor),
+                    _ => MemRequest::load(addr, at, actor),
+                }
+            };
+            at += Cycles(rng.below(800));
+            req
+        })
+        .collect()
+}
+
+/// Applies one entry of the swept defense matrix to a controller.
+fn apply_defense<B: ControllerBackend>(backend: &mut B, sel: usize) {
+    match sel {
+        0 => {}
+        1 => backend.set_defense(Defense::Ctd),
+        2 => backend.set_defense(Defense::Act(ActConfig::aggressive())),
+        _ => backend.set_periodic_block(Some(PeriodicBlock::rfm_paper_default())),
+    }
+}
+
+/// The core matrix: for shards ∈ {1,2,3,8} × workers ∈ {1,2,4} × defense
+/// ∈ {open, CTD, ACT, RFM}, chunked mixed batches produce bit-identical
+/// responses, merged stats, DRAM totals and state digests on the
+/// parallel, sequential and monolithic controllers.
+#[test]
+fn parallel_equals_sequential_equals_mono_across_matrix() {
+    for defense_sel in 0..4usize {
+        for shards in [1usize, 2, 3, 8] {
+            for workers in [1usize, 2, 4] {
+                let mut mono = MemoryController::from_config(&cfg());
+                let mut seq = ShardedController::from_config(&cfg(), shards);
+                let mut par = ShardedController::from_config_parallel(&cfg(), shards, workers);
+                par.set_parallel_threshold(8); // small chunks still dispatch
+                apply_defense(&mut mono, defense_sel);
+                apply_defense(&mut seq, defense_sel);
+                apply_defense(&mut par, defense_sel);
+
+                let reqs = stream(&mono, 132, 0xD15C0 + defense_sel as u64);
+                for chunk in reqs.chunks(33) {
+                    let a = mono.service_batch(chunk).unwrap();
+                    let b = MemoryBackend::service_batch(&mut seq, chunk).unwrap();
+                    let c = MemoryBackend::service_batch(&mut par, chunk).unwrap();
+                    assert_eq!(a, b, "sequential sharded diverged");
+                    assert_eq!(
+                        a, c,
+                        "parallel diverged (defense {defense_sel}, {shards} shards, \
+                         {workers} workers)"
+                    );
+                }
+                assert_eq!(mono.backend_stats(), seq.backend_stats());
+                assert_eq!(mono.backend_stats(), par.backend_stats());
+                assert_eq!(mono.dram_totals(), par.dram_totals());
+                let digest = mono.dram_state_digest();
+                assert_eq!(digest, seq.dram_state_digest());
+                assert_eq!(
+                    digest,
+                    par.dram_state_digest(),
+                    "DRAM state digest diverged (defense {defense_sel}, {shards} shards, \
+                     {workers} workers)"
+                );
+            }
+        }
+    }
+}
+
+/// MPR partitioning rejects requests, so batches under it must take the
+/// in-order fallback even on a parallel controller — with errors and
+/// partial state identical to the monolithic path.
+#[test]
+fn mpr_batches_fall_back_identically_under_workers() {
+    let configure = |backend: &mut dyn ControllerBackend| {
+        let mut p = MprPartition::new(16);
+        p.assign_round_robin(&[0, 1]);
+        backend.set_defense(Defense::Mpr(p));
+    };
+    let mut mono = MemoryController::from_config(&cfg());
+    let mut par = ShardedController::from_config_parallel(&cfg(), 4, 2);
+    par.set_parallel_threshold(1);
+    configure(&mut mono);
+    configure(&mut par);
+    let reqs = stream(&mono, 90, 0x3A7);
+    for chunk in reqs.chunks(30) {
+        let a = mono.service_batch(chunk);
+        let b = MemoryBackend::service_batch(&mut par, chunk);
+        match (a, b) {
+            (Ok(x), Ok(y)) => assert_eq!(x, y),
+            (Err(_), Err(_)) => {}
+            (a, b) => panic!("divergent results: {a:?} vs {b:?}"),
+        }
+    }
+    assert_eq!(mono.backend_stats(), par.backend_stats());
+    assert_eq!(mono.dram_state_digest(), par.dram_state_digest());
+    let sched = par.backend_stats();
+    assert_eq!(sched.parallel_batches, 0, "MPR must never parallelize");
+    assert!(sched.sequential_fallbacks > 0);
+}
+
+/// The default adaptive threshold through the runtime-selected boxed
+/// backend: small batches stay sequential, init-sweep-sized batches
+/// engage the pool — visible in the scheduling counters, invisible in
+/// the stats equality.
+#[test]
+fn default_threshold_engages_through_backend_kind() {
+    let kind = BackendKind::Sharded {
+        shards: 8,
+        workers: 4,
+    };
+    assert_eq!(kind.label(), "sharded:8:4");
+    let mut backend = kind.backend(&cfg());
+    let mut mono = BackendKind::Mono.backend(&cfg());
+    let probe = MemoryController::from_config(&cfg());
+
+    // 64 requests: below DEFAULT_PARALLEL_THRESHOLD (512) → sequential.
+    let small: Vec<MemRequest> = stream(&probe, 200, 5)
+        .into_iter()
+        .filter(|r| !matches!(r.kind, ReqKind::RowClone { .. }))
+        .take(64)
+        .collect();
+    assert_eq!(
+        backend.service_batch(&small).unwrap(),
+        mono.service_batch(&small).unwrap()
+    );
+    assert_eq!(backend.backend_stats().parallel_batches, 0);
+    assert_eq!(backend.backend_stats().sequential_fallbacks, 1);
+
+    // 512 requests over many banks → parallel.
+    let big: Vec<MemRequest> = (0..512u64)
+        .map(|i| {
+            let addr = probe.mapping().compose((i % 16) as usize, (i / 16) % 32, 0);
+            MemRequest::load(addr, Cycles(100_000 + i * 500), 0)
+        })
+        .collect();
+    assert_eq!(
+        backend.service_batch(&big).unwrap(),
+        mono.service_batch(&big).unwrap()
+    );
+    assert_eq!(backend.backend_stats().parallel_batches, 1);
+    assert_eq!(backend.backend_stats(), mono.backend_stats());
+    assert_eq!(backend.dram_state_digest(), mono.dram_state_digest());
+}
+
+/// The production-scale workload the pool exists for: the side-channel
+/// style row-opening init sweep over 4096 banks, end-to-end through the
+/// engine's burst path. `sharded:8` with 4 workers must be bit-identical
+/// to the monolithic system — and must actually have parallelized.
+#[test]
+fn init_sweep_4096_banks_is_bit_identical_and_parallel() {
+    /// One full init sweep on any controller-backed engine: open the
+    /// agent's row in every bank through a single `pim_open_burst`.
+    fn sweep<B: ControllerBackend>(s: &mut impact::sim::Engine<B>) -> (Vec<u64>, u64, u64) {
+        let a = s.spawn_agent();
+        let banks = s.backend().num_banks();
+        let mut vas = Vec::with_capacity(banks);
+        for bank in 0..banks {
+            let va = s.alloc_row_in_bank(a, bank).unwrap();
+            s.warm_tlb(a, va, 2);
+            vas.push(va);
+        }
+        let infos = s.pim_open_burst(a, &vas).unwrap();
+        (
+            infos.iter().map(|i| i.latency.0).collect(),
+            s.backend().dram_state_digest(),
+            s.backend().backend_stats().parallel_batches,
+        )
+    }
+
+    let cfg = SystemConfig::paper_table2_noiseless().with_total_banks(4096);
+    let (mono_lats, mono_digest, mono_par) = sweep(&mut System::new(cfg.clone()));
+    assert_eq!(mono_par, 0);
+    let (par_lats, par_digest, par_batches) =
+        sweep(&mut ShardedSystem::sharded_parallel(cfg, 8, 4));
+    assert_eq!(mono_lats, par_lats, "init-sweep latencies diverged");
+    assert_eq!(mono_digest, par_digest, "DRAM state digest diverged");
+    assert!(
+        par_batches > 0,
+        "a 4096-request burst must take the parallel path at the default threshold"
+    );
+}
+
+/// A shared in-memory sink for `record_trace_to`.
+#[derive(Clone, Default)]
+struct SharedBuf(Arc<Mutex<Vec<u8>>>);
+
+impl std::io::Write for SharedBuf {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        self.0.lock().unwrap().extend_from_slice(buf);
+        Ok(buf.len())
+    }
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
+/// The recorded-trace cross-check: a capture recorded on the *monolithic*
+/// controller — containing an init-sweep-sized batch — replays on
+/// `sharded:8` with 4 workers with bit-identical responses, stats and
+/// DRAM state digest, and the replay demonstrably serviced the big batch
+/// on the pool.
+#[test]
+fn mono_recorded_trace_replays_digest_clean_on_parallel_shards() {
+    let banks = 1024u32;
+    let cfg = SystemConfig::paper_table2_noiseless().with_total_banks(banks);
+    let label = format!("paper_table2_noiseless+banks:{banks}");
+
+    let buf = SharedBuf::default();
+    let mut sys = TracedSystem::traced(cfg.clone());
+    sys.record_trace_to(Box::new(buf.clone()), &label, 0x9A7A)
+        .unwrap();
+    let a = sys.spawn_agent();
+    let mut vas = Vec::with_capacity(banks as usize);
+    for bank in 0..banks as usize {
+        let va = sys.alloc_row_in_bank(a, bank).unwrap();
+        sys.warm_tlb(a, va, 2);
+        vas.push(va);
+    }
+    // One init-sweep-sized burst (a single 1024-request Batch event) plus
+    // scalar traffic and a masked RowClone, so the replay crosses the
+    // parallel, sequential and fallback paths.
+    sys.pim_open_burst(a, &vas).unwrap();
+    for (i, &va) in vas.iter().enumerate().take(96) {
+        if i % 2 == 0 {
+            sys.load_direct(a, va + 64).unwrap();
+        } else {
+            sys.pim_op_direct(a, va + 128).unwrap();
+        }
+    }
+    let src = sys.alloc_bank_stripe(a, 1).unwrap();
+    let dst = sys.alloc_bank_stripe(a, 1).unwrap();
+    sys.warm_tlb(a, src, 2 * u64::from(banks));
+    sys.warm_tlb(a, dst, 2 * u64::from(banks));
+    sys.rowclone(a, src, dst, 0xFFFF).unwrap();
+    let summary = sys.finish_trace().unwrap().expect("recording active");
+    let recorded_digest = sys.backend().dram_state_digest();
+    let bytes = buf.0.lock().unwrap().clone();
+    assert_eq!(
+        summary.responses,
+        sys.backend().backend_stats().accesses + 1
+    );
+
+    // Replay on the parallel sharded backend: digest-verified.
+    let v = replay_file(
+        &bytes[..],
+        BackendKind::Sharded {
+            shards: 8,
+            workers: 4,
+        },
+    )
+    .unwrap();
+    assert!(v.matches(), "parallel replay failed footer verification");
+    assert_eq!(v.state_digest, recorded_digest, "DRAM state diverged");
+    assert!(
+        v.stats.parallel_batches > 0,
+        "the 1024-request batch must have been serviced on the pool"
+    );
+
+    // Mono and sequential sharded replays land in the identical state.
+    for kind in [
+        BackendKind::Mono,
+        BackendKind::Sharded {
+            shards: 8,
+            workers: 1,
+        },
+    ] {
+        let w = replay_file(&bytes[..], kind).unwrap();
+        assert!(w.matches(), "{} replay failed", kind.label());
+        assert_eq!(w.state_digest, recorded_digest);
+        assert_eq!(w.stats, v.stats, "{} stats diverged", kind.label());
+    }
+}

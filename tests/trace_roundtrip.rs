@@ -66,7 +66,10 @@ fn mono_recording_replays_bit_identically_on_other_backends() {
     let mut verifications = Vec::new();
     for kind in [
         BackendKind::Mono,
-        BackendKind::Sharded(4),
+        BackendKind::Sharded {
+            shards: 4,
+            workers: 1,
+        },
         BackendKind::Traced,
     ] {
         let reader = BufReader::new(fs::File::open(&scratch.0).expect("open trace"));
@@ -100,7 +103,13 @@ fn mono_recording_replays_bit_identically_on_other_backends() {
     };
     let mono = responses_on(BackendKind::Mono);
     assert_eq!(mono.len() as u64, captured.summary.responses);
-    assert_eq!(mono, responses_on(BackendKind::Sharded(4)));
+    assert_eq!(
+        mono,
+        responses_on(BackendKind::Sharded {
+            shards: 4,
+            workers: 1
+        })
+    );
     assert_eq!(mono, responses_on(BackendKind::Traced));
 }
 
@@ -203,7 +212,10 @@ fn spilled_experiment_equals_in_memory_log() {
     // state to the original run.
     let v = replay_file(
         BufReader::new(fs::File::open(&scratch.0).unwrap()),
-        BackendKind::Sharded(4),
+        BackendKind::Sharded {
+            shards: 4,
+            workers: 1,
+        },
     )
     .unwrap();
     assert!(v.matches());
