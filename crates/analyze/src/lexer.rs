@@ -1,0 +1,499 @@
+//! A lightweight Rust tokenizer: just enough fidelity for line-accurate
+//! pattern rules — string/char/lifetime/comment handling, nested block
+//! comments, raw strings and raw identifiers — without a full parser.
+//!
+//! The build environment is offline, so `syn`/`proc-macro2` are not
+//! available; the analysis layers above only need identifier/punctuation
+//! streams with reliable line numbers, which this provides.
+
+/// Kind of one lexed token.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (including raw identifiers, prefix stripped).
+    Ident,
+    /// Integer-ish literal (digits plus alphanumeric suffix characters).
+    Number,
+    /// String or byte-string literal (contents dropped).
+    Str,
+    /// Character literal (contents dropped).
+    Char,
+    /// Lifetime such as `'a` (quote dropped, name kept).
+    Lifetime,
+    /// Any single punctuation character.
+    Punct,
+}
+
+/// One token with its 1-indexed source line.
+#[derive(Debug, Clone)]
+pub struct Token {
+    /// What kind of token this is.
+    pub kind: TokKind,
+    /// Token text: the identifier/number/lifetime spelling, or the single
+    /// punctuation character. Empty for string/char literals.
+    pub text: String,
+    /// 1-indexed line the token starts on.
+    pub line: u32,
+}
+
+impl Token {
+    /// True when this token is the identifier `s`.
+    #[must_use]
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == s
+    }
+
+    /// True when this token is the punctuation character `c`.
+    #[must_use]
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokKind::Punct && self.text.as_bytes().first() == Some(&(c as u8))
+    }
+}
+
+/// A captured `//` comment with its 1-indexed line.
+#[derive(Debug, Clone)]
+pub struct LineComment {
+    /// 1-indexed line the comment sits on.
+    pub line: u32,
+    /// Comment text after the leading `//` (untrimmed).
+    pub text: String,
+}
+
+/// Output of [`lex`]: the token stream plus every line comment (the rule
+/// engine needs comments to find `analyze::allow` annotations).
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// Tokens in source order.
+    pub tokens: Vec<Token>,
+    /// `//` comments in source order.
+    pub comments: Vec<LineComment>,
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Tokenizes `src`. Never fails: unterminated literals are consumed to end
+/// of input, which is good enough for lint-style analysis (rustc itself
+/// rejects such files long before CI runs the analyzer).
+#[must_use]
+pub fn lex(src: &str) -> Lexed {
+    let chars: Vec<char> = src.chars().collect();
+    let mut out = Lexed::default();
+    let mut i = 0usize;
+    let mut line: u32 = 1;
+
+    // Consumes a double-quoted string body starting at the opening `"`
+    // (index `i`), honoring backslash escapes; returns the index one past
+    // the closing quote and the number of newlines crossed.
+    let scan_string = |chars: &[char], mut i: usize, line: &mut u32| -> usize {
+        debug_assert_eq!(chars[i], '"');
+        i += 1;
+        while i < chars.len() {
+            match chars[i] {
+                '\\' => i += 2,
+                '"' => return i + 1,
+                c => {
+                    if c == '\n' {
+                        *line += 1;
+                    }
+                    i += 1;
+                }
+            }
+        }
+        i
+    };
+
+    while i < chars.len() {
+        let c = chars[i];
+        let start_line = line;
+        match c {
+            '\n' => {
+                line += 1;
+                i += 1;
+            }
+            c if c.is_whitespace() => i += 1,
+            '/' if chars.get(i + 1) == Some(&'/') => {
+                let mut j = i + 2;
+                let mut text = String::new();
+                while j < chars.len() && chars[j] != '\n' {
+                    text.push(chars[j]);
+                    j += 1;
+                }
+                out.comments.push(LineComment {
+                    line: start_line,
+                    text,
+                });
+                i = j;
+            }
+            '/' if chars.get(i + 1) == Some(&'*') => {
+                // Nested block comment.
+                let mut depth = 1u32;
+                let mut j = i + 2;
+                while j < chars.len() && depth > 0 {
+                    match (chars[j], chars.get(j + 1)) {
+                        ('/', Some('*')) => {
+                            depth += 1;
+                            j += 2;
+                        }
+                        ('*', Some('/')) => {
+                            depth -= 1;
+                            j += 2;
+                        }
+                        ('\n', _) => {
+                            line += 1;
+                            j += 1;
+                        }
+                        _ => j += 1,
+                    }
+                }
+                i = j;
+            }
+            '"' => {
+                i = scan_string(&chars, i, &mut line);
+                out.tokens.push(Token {
+                    kind: TokKind::Str,
+                    text: String::new(),
+                    line: start_line,
+                });
+            }
+            '\'' => {
+                // Lifetime (`'a`) vs char literal (`'a'`, `'\n'`).
+                let next = chars.get(i + 1).copied();
+                if let Some(n) = next {
+                    if is_ident_start(n) && chars.get(i + 2).copied() != Some('\'') {
+                        let mut j = i + 1;
+                        let mut text = String::new();
+                        while j < chars.len() && is_ident_continue(chars[j]) {
+                            text.push(chars[j]);
+                            j += 1;
+                        }
+                        out.tokens.push(Token {
+                            kind: TokKind::Lifetime,
+                            text,
+                            line: start_line,
+                        });
+                        i = j;
+                        continue;
+                    }
+                }
+                // Char literal: consume escape or single char, then the
+                // closing quote.
+                let mut j = i + 1;
+                if chars.get(j) == Some(&'\\') {
+                    j += 2;
+                } else {
+                    j += 1;
+                }
+                if chars.get(j) == Some(&'\'') {
+                    j += 1;
+                }
+                out.tokens.push(Token {
+                    kind: TokKind::Char,
+                    text: String::new(),
+                    line: start_line,
+                });
+                i = j;
+            }
+            c if is_ident_start(c) => {
+                let mut j = i;
+                let mut text = String::new();
+                while j < chars.len() && is_ident_continue(chars[j]) {
+                    text.push(chars[j]);
+                    j += 1;
+                }
+                // String prefixes: r"", r#""#, b"", br#""#, c"", cr#""#,
+                // and raw identifiers r#name.
+                let prefix = matches!(text.as_str(), "r" | "b" | "br" | "c" | "cr");
+                if prefix && chars.get(j) == Some(&'"') {
+                    i = scan_string(&chars, j, &mut line);
+                    out.tokens.push(Token {
+                        kind: TokKind::Str,
+                        text: String::new(),
+                        line: start_line,
+                    });
+                    continue;
+                }
+                if prefix && chars.get(j) == Some(&'#') {
+                    let mut hashes = 0usize;
+                    let mut k = j;
+                    while chars.get(k) == Some(&'#') {
+                        hashes += 1;
+                        k += 1;
+                    }
+                    if chars.get(k) == Some(&'"') {
+                        // Raw string: scan for `"` followed by `hashes` #s.
+                        let mut m = k + 1;
+                        'raw: while m < chars.len() {
+                            if chars[m] == '\n' {
+                                line += 1;
+                            } else if chars[m] == '"' {
+                                let mut h = 0usize;
+                                while chars.get(m + 1 + h) == Some(&'#') {
+                                    h += 1;
+                                }
+                                if h >= hashes {
+                                    m += 1 + hashes;
+                                    break 'raw;
+                                }
+                            }
+                            m += 1;
+                        }
+                        i = m;
+                        out.tokens.push(Token {
+                            kind: TokKind::Str,
+                            text: String::new(),
+                            line: start_line,
+                        });
+                        continue;
+                    }
+                    if text == "r"
+                        && hashes == 1
+                        && chars.get(k).copied().is_some_and(is_ident_start)
+                    {
+                        // Raw identifier r#name: emit `name`.
+                        let mut m = k;
+                        let mut name = String::new();
+                        while m < chars.len() && is_ident_continue(chars[m]) {
+                            name.push(chars[m]);
+                            m += 1;
+                        }
+                        out.tokens.push(Token {
+                            kind: TokKind::Ident,
+                            text: name,
+                            line: start_line,
+                        });
+                        i = m;
+                        continue;
+                    }
+                }
+                out.tokens.push(Token {
+                    kind: TokKind::Ident,
+                    text,
+                    line: start_line,
+                });
+                i = j;
+            }
+            c if c.is_ascii_digit() => {
+                // Digits plus alphanumeric suffix chars (0xff, 1_000u64).
+                // Dots are NOT consumed: `0..10` stays three tokens and
+                // `1.5` lexes as Number '.' Number — fine for lint rules.
+                let mut j = i;
+                let mut text = String::new();
+                while j < chars.len() && is_ident_continue(chars[j]) {
+                    text.push(chars[j]);
+                    j += 1;
+                }
+                out.tokens.push(Token {
+                    kind: TokKind::Number,
+                    text,
+                    line: start_line,
+                });
+                i = j;
+            }
+            c => {
+                out.tokens.push(Token {
+                    kind: TokKind::Punct,
+                    text: c.to_string(),
+                    line: start_line,
+                });
+                i += 1;
+            }
+        }
+    }
+    out
+}
+
+/// Computes, for every token, whether it sits inside test-only code: an
+/// item annotated `#[cfg(test)]` / `#[test]` (attributes containing a
+/// bare `test` ident, except under `not(...)`), including the whole body
+/// of a `#[cfg(test)] mod`.
+#[must_use]
+pub fn test_regions(tokens: &[Token]) -> Vec<bool> {
+    let mut in_test = vec![false; tokens.len()];
+    let mut i = 0usize;
+    while i < tokens.len() {
+        if tokens[i].is_punct('#') && tokens.get(i + 1).is_some_and(|t| t.is_punct('[')) {
+            let (attr_end, is_test) = scan_attr(tokens, i + 1);
+            if is_test {
+                // Skip any further attributes, then mark the whole item.
+                let mut j = attr_end;
+                while j < tokens.len()
+                    && tokens[j].is_punct('#')
+                    && tokens.get(j + 1).is_some_and(|t| t.is_punct('['))
+                {
+                    let (next_end, _) = scan_attr(tokens, j + 1);
+                    j = next_end;
+                }
+                let item_end = scan_item(tokens, j);
+                for t in in_test.iter_mut().take(item_end).skip(i) {
+                    *t = true;
+                }
+                i = item_end;
+                continue;
+            }
+            i = attr_end;
+            continue;
+        }
+        i += 1;
+    }
+    in_test
+}
+
+/// Scans one `[...]` attribute starting at the `[` token index; returns
+/// (index one past the closing `]`, whether the attribute marks test-only
+/// code).
+fn scan_attr(tokens: &[Token], open: usize) -> (usize, bool) {
+    let mut depth = 0i32;
+    let mut saw_test = false;
+    let mut saw_not = false;
+    let mut j = open;
+    while j < tokens.len() {
+        let t = &tokens[j];
+        if t.is_punct('[') {
+            depth += 1;
+        } else if t.is_punct(']') {
+            depth -= 1;
+            if depth == 0 {
+                return (j + 1, saw_test && !saw_not);
+            }
+        } else if t.is_ident("test") {
+            saw_test = true;
+        } else if t.is_ident("not") {
+            saw_not = true;
+        }
+        j += 1;
+    }
+    (tokens.len(), false)
+}
+
+/// Finds the end of the item starting at `start`: the first `;` at brace
+/// depth zero, or the matching `}` of the first `{` encountered.
+fn scan_item(tokens: &[Token], start: usize) -> usize {
+    let mut depth = 0i32;
+    let mut j = start;
+    while j < tokens.len() {
+        let t = &tokens[j];
+        if t.is_punct('{') {
+            depth += 1;
+        } else if t.is_punct('}') {
+            depth -= 1;
+            if depth == 0 {
+                return j + 1;
+            }
+        } else if t.is_punct(';') && depth == 0 {
+            return j + 1;
+        }
+        j += 1;
+    }
+    tokens.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .tokens
+            .into_iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text)
+            .collect()
+    }
+
+    #[test]
+    fn strings_and_comments_hide_identifiers() {
+        let src = r##"
+            let a = "Mutex inside a string";
+            // Mutex inside a comment
+            /* Mutex /* nested */ still comment */
+            let b = r#"raw Mutex"#;
+            let c = 'M';
+        "##;
+        let ids = idents(src);
+        assert!(!ids.contains(&"Mutex".to_string()), "{ids:?}");
+        assert_eq!(ids, ["let", "a", "let", "b", "let", "c"]);
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let lexed = lex("fn f<'a>(x: &'a str) -> char { 'x' }");
+        let lifetimes: Vec<_> = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Lifetime)
+            .collect();
+        assert_eq!(lifetimes.len(), 2);
+        assert!(lifetimes.iter().all(|t| t.text == "a"));
+        assert_eq!(
+            lexed
+                .tokens
+                .iter()
+                .filter(|t| t.kind == TokKind::Char)
+                .count(),
+            1
+        );
+    }
+
+    #[test]
+    fn line_numbers_survive_multiline_constructs() {
+        let src = "let a = 1;\n/* two\nlines */\nlet b = \"x\ny\";\nlet c = 2;\n";
+        let lexed = lex(src);
+        let c = lexed.tokens.iter().find(|t| t.is_ident("c")).unwrap();
+        assert_eq!(c.line, 6);
+    }
+
+    #[test]
+    fn comments_are_captured_with_lines() {
+        let src = "let a = 1; // trailing\n// analyze::allow(unsafe-code): because\n";
+        let lexed = lex(src);
+        assert_eq!(lexed.comments.len(), 2);
+        assert_eq!(lexed.comments[0].line, 1);
+        assert_eq!(lexed.comments[1].line, 2);
+        assert!(lexed.comments[1].text.contains("analyze::allow"));
+    }
+
+    #[test]
+    fn cfg_test_mod_is_a_test_region() {
+        let src = "fn prod() {}\n#[cfg(test)]\nmod tests {\n fn t() {}\n}\nfn prod2() {}";
+        let lexed = lex(src);
+        let regions = test_regions(&lexed.tokens);
+        let at = |name: &str| lexed.tokens.iter().position(|t| t.is_ident(name)).unwrap();
+        assert!(!regions[at("prod")]);
+        assert!(regions[at("t")]);
+        assert!(!regions[at("prod2")]);
+    }
+
+    #[test]
+    fn cfg_not_test_is_production_code() {
+        let src = "#[cfg(not(test))]\nfn prod() { body(); }";
+        let lexed = lex(src);
+        let regions = test_regions(&lexed.tokens);
+        let at = lexed
+            .tokens
+            .iter()
+            .position(|t| t.is_ident("body"))
+            .unwrap();
+        assert!(!regions[at]);
+    }
+
+    #[test]
+    fn test_attribute_covers_following_fn_only() {
+        let src = "#[test]\nfn a_test() { x(); }\nfn prod() { y(); }";
+        let lexed = lex(src);
+        let regions = test_regions(&lexed.tokens);
+        let at = |name: &str| lexed.tokens.iter().position(|t| t.is_ident(name)).unwrap();
+        assert!(regions[at("x")]);
+        assert!(!regions[at("y")]);
+    }
+
+    #[test]
+    fn raw_identifiers_lex_as_plain_idents() {
+        let ids = idents("let r#type = 1;");
+        assert_eq!(ids, ["let", "type"]);
+    }
+}

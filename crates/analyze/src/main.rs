@@ -1,0 +1,112 @@
+//! CLI for the workspace static-analysis pass.
+//!
+//! ```text
+//! impact-analyze [--root DIR] [--fix-allowlist]
+//! ```
+//!
+//! Prints `file:line: rule: message` diagnostics and exits 1 when any are
+//! found (0 when clean, 2 on usage or I/O errors). `--fix-allowlist` is a
+//! dry-run helper: instead of failing, it prints the
+//! `// analyze::allow(...)` comment each finding would need, for a human
+//! to paste (and justify!) at the flagged site.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use impact_analyze::analyze_workspace;
+
+fn usage() -> ExitCode {
+    eprintln!("usage: impact-analyze [--root DIR] [--fix-allowlist]");
+    ExitCode::from(2)
+}
+
+/// Ascends from `start` to the first directory whose `Cargo.toml` declares
+/// a `[workspace]` — so the tool runs correctly from any subdirectory.
+fn find_root(start: PathBuf) -> Option<PathBuf> {
+    let mut dir = start;
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if let Ok(text) = std::fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Some(dir);
+            }
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let mut root: Option<PathBuf> = None;
+    let mut fix_allowlist = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => match args.next() {
+                Some(dir) => root = Some(PathBuf::from(dir)),
+                None => return usage(),
+            },
+            "--fix-allowlist" => fix_allowlist = true,
+            "--help" | "-h" => {
+                println!(
+                    "impact-analyze: determinism & concurrency static analysis\n\n\
+                     usage: impact-analyze [--root DIR] [--fix-allowlist]\n\n\
+                     Exits 0 when the workspace is clean, 1 when diagnostics were\n\
+                     found, 2 on usage/I/O errors. --fix-allowlist prints the\n\
+                     allow-comment each finding would need instead of failing."
+                );
+                return ExitCode::SUCCESS;
+            }
+            _ => return usage(),
+        }
+    }
+
+    let root = match root {
+        Some(r) => r,
+        None => {
+            let cwd = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+            match find_root(cwd) {
+                Some(r) => r,
+                None => {
+                    eprintln!("impact-analyze: no workspace Cargo.toml found above the cwd");
+                    return ExitCode::from(2);
+                }
+            }
+        }
+    };
+
+    let diags = match analyze_workspace(&root) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("impact-analyze: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if fix_allowlist {
+        for d in &diags {
+            println!(
+                "{}:{}: add: // analyze::allow({}): TODO justify — {}",
+                d.file, d.line, d.rule, d.message
+            );
+        }
+        eprintln!(
+            "impact-analyze: {} finding(s); allow-comments above are a dry run — \
+             justify each before pasting",
+            diags.len()
+        );
+        return ExitCode::SUCCESS;
+    }
+
+    for d in &diags {
+        println!("{d}");
+    }
+    if diags.is_empty() {
+        eprintln!("impact-analyze: workspace clean");
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("impact-analyze: {} diagnostic(s)", diags.len());
+        ExitCode::FAILURE
+    }
+}

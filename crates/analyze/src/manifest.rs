@@ -1,0 +1,129 @@
+//! The `analyze.toml` exclusion manifest.
+//!
+//! Layer-2 invariant checks require every struct field to be covered by
+//! its consumers (merge / equality / codec / fingerprint) *or* listed
+//! here with the section that excuses it. The file is parsed with a tiny
+//! built-in reader for the subset of TOML it uses — `[section]` headers
+//! and single-line `key = ["a", "b"]` string arrays — because the build
+//! environment is offline and the analyzer must stay dependency-free.
+
+use std::collections::BTreeMap;
+
+/// Parsed exclusion lists, keyed `"section.key"` → values.
+#[derive(Debug, Default, Clone)]
+pub struct Manifest {
+    entries: BTreeMap<String, Vec<String>>,
+}
+
+impl Manifest {
+    /// Parses manifest text.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the first malformed line.
+    pub fn parse(text: &str) -> Result<Manifest, String> {
+        let mut entries: BTreeMap<String, Vec<String>> = BTreeMap::new();
+        let mut section = String::new();
+        for (idx, raw) in text.lines().enumerate() {
+            let line = strip_comment(raw).trim().to_string();
+            if line.is_empty() {
+                continue;
+            }
+            if let Some(rest) = line.strip_prefix('[') {
+                let Some(name) = rest.strip_suffix(']') else {
+                    return Err(format!("analyze.toml:{}: unterminated section", idx + 1));
+                };
+                section = name.trim().to_string();
+                continue;
+            }
+            let Some((key, value)) = line.split_once('=') else {
+                return Err(format!(
+                    "analyze.toml:{}: expected `key = [..]`, got `{line}`",
+                    idx + 1
+                ));
+            };
+            let key = key.trim();
+            let value = value.trim();
+            let Some(inner) = value.strip_prefix('[').and_then(|v| v.strip_suffix(']')) else {
+                return Err(format!(
+                    "analyze.toml:{}: value must be a single-line string array",
+                    idx + 1
+                ));
+            };
+            let mut items = Vec::new();
+            for part in inner.split(',') {
+                let part = part.trim();
+                if part.is_empty() {
+                    continue;
+                }
+                let Some(s) = part.strip_prefix('"').and_then(|p| p.strip_suffix('"')) else {
+                    return Err(format!(
+                        "analyze.toml:{}: array items must be double-quoted strings",
+                        idx + 1
+                    ));
+                };
+                items.push(s.to_string());
+            }
+            let full = if section.is_empty() {
+                key.to_string()
+            } else {
+                format!("{section}.{key}")
+            };
+            entries.insert(full, items);
+        }
+        Ok(Manifest { entries })
+    }
+
+    /// True when `section.key` lists `value`.
+    #[must_use]
+    pub fn excludes(&self, section_key: &str, value: &str) -> bool {
+        self.entries
+            .get(section_key)
+            .is_some_and(|v| v.iter().any(|x| x == value))
+    }
+}
+
+/// Drops a `#` comment, respecting double quotes.
+fn strip_comment(line: &str) -> &str {
+    let mut in_str = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '"' => in_str = !in_str,
+            '#' if !in_str => return &line[..i],
+            _ => {}
+        }
+    }
+    line
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_sections_and_arrays() {
+        let m = Manifest::parse(
+            "# comment\n[backend_stats]\ncodec_exclude = [\"a\", \"b\"] # trailing\n\n\
+             [fingerprint]\nexclude = []\n",
+        )
+        .unwrap();
+        assert!(m.excludes("backend_stats.codec_exclude", "a"));
+        assert!(m.excludes("backend_stats.codec_exclude", "b"));
+        assert!(!m.excludes("backend_stats.codec_exclude", "c"));
+        assert!(!m.excludes("fingerprint.exclude", "a"));
+    }
+
+    #[test]
+    fn rejects_malformed_lines() {
+        assert!(Manifest::parse("[unterminated\n").is_err());
+        assert!(Manifest::parse("key value\n").is_err());
+        assert!(Manifest::parse("key = \"not-an-array\"\n").is_err());
+        assert!(Manifest::parse("key = [unquoted]\n").is_err());
+    }
+
+    #[test]
+    fn empty_manifest_excludes_nothing() {
+        let m = Manifest::default();
+        assert!(!m.excludes("backend_stats.codec_exclude", "x"));
+    }
+}

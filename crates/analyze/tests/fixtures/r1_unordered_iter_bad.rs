@@ -1,0 +1,25 @@
+//! R1 violations: default-hashed construction, unordered iteration, and a
+//! for-loop over a hash map.
+use std::collections::HashMap;
+
+struct Stats {
+    per_bank: HashMap<usize, u64>,
+}
+
+fn build() -> HashMap<usize, u64> {
+    let mut seen = HashMap::new();
+    seen.insert(1, 2);
+    seen
+}
+
+impl Stats {
+    fn total(&self) -> u64 {
+        self.per_bank.values().sum()
+    }
+
+    fn dump(&self) {
+        for (bank, count) in &self.per_bank {
+            println!("{bank}: {count}");
+        }
+    }
+}

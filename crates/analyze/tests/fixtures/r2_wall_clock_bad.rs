@@ -1,0 +1,9 @@
+//! R2 violations: wall-clock and environment reads in deterministic code.
+use std::time::{Instant, SystemTime};
+
+fn seed_from_host() -> u64 {
+    let t = Instant::now();
+    let _ = SystemTime::now();
+    let threads = std::env::var("THREADS").unwrap_or_default();
+    t.elapsed().as_nanos() as u64 + threads.len() as u64
+}

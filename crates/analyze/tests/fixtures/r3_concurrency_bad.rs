@@ -1,0 +1,13 @@
+//! R3 violations: ad-hoc threading and shared-state primitives outside
+//! the sanctioned concurrency sites.
+use std::sync::atomic::AtomicUsize;
+use std::sync::Mutex;
+use std::thread;
+
+fn fan_out(work: Vec<u64>) -> u64 {
+    let total = Mutex::new(0u64);
+    let counter = AtomicUsize::new(0);
+    let handle = thread::spawn(move || work.into_iter().sum::<u64>());
+    let _ = counter;
+    *total.lock().unwrap() + handle.join().unwrap()
+}

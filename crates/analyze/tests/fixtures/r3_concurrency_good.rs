@@ -1,0 +1,18 @@
+//! R3 clean: deterministic code stays single-threaded; parallelism is
+//! expressed through the sanctioned pool APIs, and test code may thread.
+use impact_memctrl::ShardedController;
+
+fn parallel_backend(cfg: &impact_core::config::SystemConfig) -> ShardedController {
+    // Routing through the proven worker pool is the sanctioned way to go
+    // parallel — no raw threads or shared-state primitives here.
+    ShardedController::from_config_parallel(cfg, 8, 4)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn threads_are_fine_in_tests() {
+        let h = std::thread::spawn(|| 2 + 2);
+        assert_eq!(h.join().unwrap(), 4);
+    }
+}

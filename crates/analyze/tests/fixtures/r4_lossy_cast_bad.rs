@@ -1,0 +1,12 @@
+//! R4 violations: narrowing casts of address-carrying values.
+fn truncate_addr(addr: u64) -> u32 {
+    addr as u32
+}
+
+fn truncate_row(row: u64, banks: u64) -> u16 {
+    (row * banks) as u16
+}
+
+fn truncate_bank(flat_bank: usize) -> u8 {
+    flat_bank as u8
+}

@@ -1,0 +1,22 @@
+//! R4 clean: widening casts, non-address narrowing, checked conversion,
+//! and a justified bounded cast.
+fn widen(bank: u32) -> u64 {
+    u64::from(bank)
+}
+
+fn widen_as(bank: u32) -> u64 {
+    bank as u64
+}
+
+fn narrow_non_address(retries: u64) -> u32 {
+    (retries % 7) as u32
+}
+
+fn checked(addr: u64) -> u32 {
+    u32::try_from(addr % 8192).expect("column bounded by row size")
+}
+
+fn justified(addr: u64, row_bytes: u64) -> u32 {
+    // analyze::allow(lossy-cast): column < row_bytes, far below 2^32
+    (addr % row_bytes) as u32
+}

@@ -1,0 +1,13 @@
+//! R5 violation: `unsafe` is forbidden workspace-wide, tests included.
+fn read_first(v: &[u64]) -> u64 {
+    unsafe { *v.get_unchecked(0) }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn even_in_tests() {
+        let x = [1u64];
+        let _ = unsafe { *x.as_ptr() };
+    }
+}

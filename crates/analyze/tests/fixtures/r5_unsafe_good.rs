@@ -1,0 +1,8 @@
+//! R5 clean: safe Rust only (the word `unsafe` in strings or comments is
+//! not a finding — this comment itself must not trip the tokenizer).
+fn safe_split(v: &mut [u64]) -> (&mut [u64], &mut [u64]) {
+    let mid = v.len() / 2;
+    let msg = "unsafe is only a string here";
+    let _ = msg;
+    v.split_at_mut(mid)
+}

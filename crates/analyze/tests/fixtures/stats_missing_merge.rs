@@ -1,0 +1,29 @@
+//! Layer-2 fixture: a `BackendStats`-style struct whose new counter
+//! (`row_hammer_alerts`) was wired into `PartialEq` and the codec-style
+//! functions but forgotten in `merge` — the exact drift class PR 5 hit.
+pub struct BackendStats {
+    pub accesses: u64,
+    pub blocked: u64,
+    pub row_hammer_alerts: u64,
+}
+
+impl BackendStats {
+    pub fn merge(&mut self, other: &BackendStats) {
+        self.accesses += other.accesses;
+        self.blocked += other.blocked;
+    }
+}
+
+impl PartialEq for BackendStats {
+    fn eq(&self, other: &BackendStats) -> bool {
+        self.accesses == other.accesses
+            && self.blocked == other.blocked
+            && self.row_hammer_alerts == other.row_hammer_alerts
+    }
+}
+
+impl core::ops::AddAssign for BackendStats {
+    fn add_assign(&mut self, rhs: BackendStats) {
+        self.merge(&rhs);
+    }
+}

@@ -1,0 +1,143 @@
+//! Self-check: the analyzer runs clean on the real workspace, and each of
+//! the three seeded-violation demos from the acceptance criteria produces
+//! a `file:line` diagnostic when injected into *real* workspace sources.
+
+use std::path::{Path, PathBuf};
+
+use impact_analyze::manifest::Manifest;
+use impact_analyze::{analyze_workspace, classify, invariants, rules};
+
+fn workspace_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent)
+        .expect("crates/analyze has a workspace two levels up")
+        .to_path_buf()
+}
+
+fn read(rel: &str) -> String {
+    let root = workspace_root();
+    std::fs::read_to_string(root.join(rel)).unwrap_or_else(|e| panic!("{rel}: {e}"))
+}
+
+#[test]
+fn real_workspace_is_clean() {
+    let diags = analyze_workspace(&workspace_root()).expect("workspace scan");
+    assert!(
+        diags.is_empty(),
+        "workspace has findings:\n{}",
+        diags
+            .iter()
+            .map(|d| d.to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}
+
+/// Seeding demo (a): a `HashMap` iteration added to a real `crates/sim`
+/// source file is caught by R1 under that file's real classification.
+#[test]
+fn seeded_hashmap_iteration_in_sim_is_caught() {
+    let rel = "crates/sim/src/tlb.rs";
+    let clean = read(rel);
+    assert!(rules::check_source(&classify(rel), &clean).is_empty());
+
+    let seeded = format!(
+        "{clean}\
+         fn dump(map: &std::collections::HashMap<u64, u64>) -> u64 {{\n\
+         \x20   map.values().sum()\n\
+         }}\n"
+    );
+    let diags = rules::check_source(&classify(rel), &seeded);
+    let hit = diags
+        .iter()
+        .find(|d| d.rule == "unordered-iter")
+        .unwrap_or_else(|| panic!("no unordered-iter finding: {diags:?}"));
+    // Anchored to the injected `.values()` line, one past the clean EOF.
+    assert_eq!(hit.line as usize, clean.lines().count() + 2, "{hit}");
+    assert!(hit.to_string().starts_with("crates/sim/src/tlb.rs:"));
+}
+
+/// Seeding demo (b): a new `BackendStats` field appended to the real
+/// `engine.rs` but absent from `merge` (and everything downstream) is
+/// caught by the layer-2 coverage check against the real codec.
+#[test]
+fn seeded_backend_stats_field_is_caught() {
+    let engine = read("crates/core/src/engine.rs");
+    let codec = read("crates/core/src/trace/codec.rs");
+    let manifest = Manifest::parse(&read("analyze.toml")).expect("analyze.toml");
+    assert!(invariants::check_backend_stats(&engine, &codec, &manifest).is_empty());
+
+    let seeded = engine.replacen(
+        "pub struct BackendStats {",
+        "pub struct BackendStats {\n    pub seeded_counter: u64,",
+        1,
+    );
+    assert_ne!(seeded, engine, "anchor struct not found");
+    let diags = invariants::check_backend_stats(&seeded, &codec, &manifest);
+    assert!(
+        diags.iter().any(|d| d.rule == "stats-coverage"
+            && d.message.contains("`seeded_counter`")
+            && d.message.contains("merge")),
+        "{diags:?}"
+    );
+    for d in &diags {
+        assert!(
+            d.to_string().starts_with("crates/core/src/engine.rs:"),
+            "{d}"
+        );
+    }
+}
+
+/// Seeding demo (c): `thread::spawn` outside the sanctioned sites is
+/// caught by R3, again under the file's real classification.
+#[test]
+fn seeded_thread_spawn_outside_sanctioned_sites_is_caught() {
+    let rel = "crates/dram/src/mapping.rs";
+    let clean = read(rel);
+    assert!(rules::check_source(&classify(rel), &clean).is_empty());
+
+    let seeded = format!("{clean}fn sneak() {{ std::thread::spawn(|| ()); }}\n");
+    let diags = rules::check_source(&classify(rel), &seeded);
+    let hit = diags
+        .iter()
+        .find(|d| d.rule == "concurrency")
+        .unwrap_or_else(|| panic!("no concurrency finding: {diags:?}"));
+    assert_eq!(hit.line as usize, clean.lines().count() + 1, "{hit}");
+}
+
+/// The seeded diagnostics above are what gate CI: any diagnostic makes
+/// the binary exit non-zero. Exercise that end-to-end against a temp
+/// workspace so the exit-code contract itself is under test.
+#[test]
+fn binary_exits_nonzero_on_a_seeded_workspace() {
+    let bin = env!("CARGO_BIN_EXE_impact-analyze");
+    let dir = std::env::temp_dir().join("impact-analyze-selfcheck");
+    let src = dir.join("crates/sim/src");
+    std::fs::create_dir_all(&src).expect("temp workspace");
+    std::fs::write(
+        dir.join("Cargo.toml"),
+        "[workspace]\nmembers = [\"crates/sim\"]\n",
+    )
+    .unwrap();
+    std::fs::write(
+        src.join("lib.rs"),
+        "pub fn leak(m: &std::collections::HashMap<u64, u64>) -> u64 {\n\
+         \x20   m.values().sum()\n\
+         }\n",
+    )
+    .unwrap();
+
+    let out = std::process::Command::new(bin)
+        .args(["--root", dir.to_str().unwrap()])
+        .output()
+        .expect("run impact-analyze");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(out.status.code(), Some(1), "stdout:\n{stdout}");
+    assert!(
+        stdout.contains("crates/sim/src/lib.rs:2: unordered-iter:"),
+        "stdout:\n{stdout}"
+    );
+
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -61,6 +61,8 @@ impl RowInterleaved {
         let row_bytes = self.geometry.row_bytes;
         let banks = u64::from(self.geometry.total_banks());
         let chunk = addr.0 / row_bytes;
+        // analyze::allow(lossy-cast): column < row_bytes (8 KiB rows; any
+        // plausible geometry keeps row sizes far below 2^32)
         let column = (addr.0 % row_bytes) as u32;
         let bank = (chunk % banks) as usize;
         let row = chunk / banks;
@@ -127,6 +129,8 @@ impl BankInterleavedXor {
         let row_bytes = self.geometry.row_bytes;
         let banks = u64::from(self.geometry.total_banks());
         let chunk = addr.0 / row_bytes;
+        // analyze::allow(lossy-cast): column < row_bytes (8 KiB rows; any
+        // plausible geometry keeps row sizes far below 2^32)
         let column = (addr.0 % row_bytes) as u32;
         let raw_bank = chunk % banks;
         let row = chunk / banks;
@@ -168,6 +172,8 @@ fn coord_from_flat(geometry: &DramGeometry, flat_bank: usize, row: u64, column: 
     let groups = geometry.bank_groups_per_rank;
     let per_rank = banks_per_group * groups;
     let per_channel = per_rank * geometry.ranks_per_channel;
+    // analyze::allow(lossy-cast): flat_bank < total_banks, which is a u32
+    // product by construction (DramGeometry::total_banks)
     let fb = flat_bank as u32;
     DramCoord {
         channel: fb / per_channel,
