@@ -40,7 +40,14 @@ const ITER_METHODS: &[&str] = &[
 const NARROW_TARGETS: &[&str] = &["u8", "u16", "u32", "i8", "i16", "i32"];
 
 /// Identifier fragments that mark a value as address-carrying for R4.
-const ADDR_FRAGMENTS: &[&str] = &["addr", "row", "col", "bank", "vpn", "page", "phys", "virt"];
+/// `slot` (a bank-view storage index), `lane` (a RowClone lane's
+/// `(bank, row)` tuple) and `shard` (a bank-derived shard index) joined
+/// with the bucketed batch paths: all three are remapped bank
+/// coordinates, so narrowing them silently corrupts routing exactly like
+/// narrowing a raw bank index.
+const ADDR_FRAGMENTS: &[&str] = &[
+    "addr", "row", "col", "bank", "vpn", "page", "phys", "virt", "slot", "lane", "shard",
+];
 
 /// One parsed `analyze::allow` annotation.
 #[derive(Debug)]
@@ -645,6 +652,32 @@ mod tests {
         let d = check_source(&ctx, dirty);
         assert_eq!(d.len(), 1, "{d:?}");
         assert_eq!(d[0].rule, "lossy-cast");
+    }
+
+    /// The bucketed-batch coordinate vocabulary (bank-view slots, RowClone
+    /// lanes, shard indices) counts as address-carrying: the scatter paths
+    /// narrow indices to `u32`, and an unjustified narrowing there is a
+    /// routing bug.
+    #[test]
+    fn lossy_cast_covers_bucketing_coordinates() {
+        let ctx = FileContext {
+            addr_cast_checked: true,
+            ..det_ctx()
+        };
+        for dirty in [
+            "fn f(slot: usize) -> u32 { slot as u32 }",
+            "fn f(lane_idx: usize) -> u16 { lane_idx as u16 }",
+            "fn f(shard: usize) -> u32 { shard as u32 }",
+        ] {
+            let d = check_source(&ctx, dirty);
+            assert_eq!(d.len(), 1, "{dirty}: {d:?}");
+            assert_eq!(d[0].rule, "lossy-cast");
+        }
+        let allowed = "fn f(slot: usize) -> u32 {\n\
+                       // analyze::allow(lossy-cast): slot bounded by banks\n\
+                       slot as u32\n\
+                       }";
+        assert!(check_source(&ctx, allowed).is_empty());
     }
 
     #[test]

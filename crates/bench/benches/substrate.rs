@@ -66,99 +66,6 @@ fn bench_cache(c: &mut Criterion) {
     });
 }
 
-/// The batched request path vs per-request servicing: the baseline future
-/// PRs report speedups against. A 64-request stream alternating over rows
-/// in a handful of banks, issued either one `service` call at a time or
-/// through one amortized `service_batch`.
-fn bench_memctrl_batch(c: &mut Criterion) {
-    let cfg = SystemConfig::paper_table2();
-    let make_reqs = |mc: &impact_memctrl::MemoryController| -> Vec<MemRequest> {
-        (0..64u64)
-            .map(|i| {
-                let addr = mc.mapping().compose((i % 4) as usize, (i / 2) % 8, 0);
-                MemRequest::load(addr, Cycles(i * 400), 0)
-            })
-            .collect()
-    };
-    c.bench_function("memctrl/service_per_request_64", |b| {
-        let mut mc = impact_memctrl::MemoryController::from_config(&cfg);
-        let reqs = make_reqs(&mc);
-        b.iter(|| {
-            reqs.iter()
-                .map(|r| mc.service(r).expect("service").latency.0)
-                .sum::<u64>()
-        });
-    });
-    c.bench_function("memctrl/service_batch_64", |b| {
-        let mut mc = impact_memctrl::MemoryController::from_config(&cfg);
-        let reqs = make_reqs(&mc);
-        b.iter(|| {
-            mc.service_batch(&reqs)
-                .expect("batch")
-                .iter()
-                .map(|r| r.latency.0)
-                .sum::<u64>()
-        });
-    });
-    // The sharded controller over the same 64-request batch — compare
-    // against `memctrl/service_batch_64` (same stream, monolithic
-    // controller) for the sharding overhead/benefit.
-    c.bench_function("memctrl/sharded_vs_mono_64", |b| {
-        use impact_core::engine::MemoryBackend;
-        let mut sc = impact_memctrl::ShardedController::from_config(&cfg, 4);
-        let probe = impact_memctrl::MemoryController::from_config(&cfg);
-        let reqs = make_reqs(&probe);
-        b.iter(|| {
-            MemoryBackend::service_batch(&mut sc, &reqs)
-                .expect("batch")
-                .iter()
-                .map(|r| r.latency.0)
-                .sum::<u64>()
-        });
-    });
-}
-
-/// Parallel shard servicing vs the sequential sharded path vs the
-/// monolithic controller, at init-sweep batch sizes (one request per
-/// bank, the side-channel initialization shape). The 64-request point
-/// sits below the adaptive threshold, so `sharded:8:4` falls back to the
-/// sequential path there by design — routing overhead is the whole cost;
-/// the 1024/8192-request points are where the pool is expected to pay.
-fn bench_sharded_parallel(c: &mut Criterion) {
-    use impact_core::engine::MemoryBackend;
-    for (banks, size) in [(16u32, 64usize), (1024, 1024), (8192, 8192)] {
-        let cfg = if banks == 16 {
-            SystemConfig::paper_table2()
-        } else {
-            SystemConfig::paper_table2_noiseless().with_total_banks(banks)
-        };
-        let probe = MemoryController::from_config(&cfg);
-        let reqs: Vec<MemRequest> = (0..size)
-            .map(|i| {
-                let bank = i % banks as usize;
-                let row = ((i / banks as usize) % 8) as u64;
-                let addr = probe.mapping().compose(bank, row, 0);
-                MemRequest::load(addr, Cycles(i as u64 * 400), 0)
-            })
-            .collect();
-        let sum = |resps: Vec<impact_core::engine::MemResponse>| {
-            resps.iter().map(|r| r.latency.0).sum::<u64>()
-        };
-        c.bench_function(&format!("memctrl/mono_batch_{size}"), |b| {
-            let mut mc = MemoryController::from_config(&cfg);
-            b.iter(|| sum(mc.service_batch(&reqs).expect("batch")));
-        });
-        c.bench_function(&format!("memctrl/sharded_seq_batch_{size}"), |b| {
-            let mut sc = impact_memctrl::ShardedController::from_config(&cfg, 8);
-            b.iter(|| sum(MemoryBackend::service_batch(&mut sc, &reqs).expect("batch")));
-        });
-        c.bench_function(&format!("memctrl/sharded_parallel_vs_mono_{size}"), |b| {
-            let mut sc = impact_memctrl::ShardedController::from_config_parallel(&cfg, 8, 4);
-            b.iter(|| sum(MemoryBackend::service_batch(&mut sc, &reqs).expect("batch")));
-        });
-    }
-}
-
 /// The end-to-end init sweep the pool exists for: `pim_open_burst` over
 /// one row per bank of a 4096-bank device, through the whole engine
 /// (translation, TLB, burst eligibility), on the monolithic system vs
@@ -233,51 +140,6 @@ fn bench_pnm_transmit(c: &mut Criterion) {
             |(mut sys, mut ch)| ch.transmit(&mut sys, &message).expect("transmit").elapsed,
             BatchSize::SmallInput,
         );
-    });
-}
-
-fn bench_system(c: &mut Criterion) {
-    c.bench_function("system/pim_op_direct", |b| {
-        let mut sys = System::new(SystemConfig::paper_table2_noiseless());
-        let a = sys.spawn_agent();
-        let row = sys.alloc_row_in_bank(a, 0).expect("alloc");
-        sys.warm_tlb(a, row, 2);
-        b.iter(|| sys.pim_op_direct(a, row).expect("pim").latency);
-    });
-    c.bench_function("system/load_through_caches", |b| {
-        let mut sys = System::new(SystemConfig::paper_table2_noiseless());
-        let a = sys.spawn_agent();
-        let row = sys.alloc_row_in_bank(a, 1).expect("alloc");
-        sys.warm_tlb(a, row, 2);
-        b.iter(|| sys.load(a, row).expect("load").latency);
-    });
-    // The tight uncached probe loop every attack hot path reduces to,
-    // request-at-a-time vs one batched burst.
-    c.bench_function("system/load_direct_loop_64", |b| {
-        let mut sys = System::new(SystemConfig::paper_table2_noiseless());
-        let a = sys.spawn_agent();
-        let row = sys.alloc_row_in_bank(a, 2).expect("alloc");
-        sys.warm_tlb(a, row, 2);
-        let vas: Vec<_> = (0..64u64).map(|i| row + (i % 128) * 64).collect();
-        b.iter(|| {
-            vas.iter()
-                .map(|&va| sys.load_direct(a, va).expect("load").latency.0)
-                .sum::<u64>()
-        });
-    });
-    c.bench_function("system/load_direct_batch_64", |b| {
-        let mut sys = System::new(SystemConfig::paper_table2_noiseless());
-        let a = sys.spawn_agent();
-        let row = sys.alloc_row_in_bank(a, 2).expect("alloc");
-        sys.warm_tlb(a, row, 2);
-        let vas: Vec<_> = (0..64u64).map(|i| row + (i % 128) * 64).collect();
-        b.iter(|| {
-            sys.load_direct_batch(a, &vas)
-                .expect("batch")
-                .iter()
-                .map(|i| i.latency.0)
-                .sum::<u64>()
-        });
     });
 }
 
@@ -367,11 +229,13 @@ criterion_group!(
     benches,
     bench_dram,
     bench_cache,
-    bench_memctrl_batch,
-    bench_sharded_parallel,
+    // The memctrl/system hot-path inventory lives in the library so the
+    // `bench_record` binary can run (and record) exactly the same benches.
+    impact_bench::hotpath::register_memctrl_batch,
+    impact_bench::hotpath::register_sharded_parallel,
     bench_side_channel_init,
     bench_pnm_transmit,
-    bench_system,
+    impact_bench::hotpath::register_system,
     bench_trace_codec,
     bench_genomics,
     bench_workloads

@@ -24,6 +24,7 @@
 //! | [`experiments::ablations`] | DESIGN.md §4 ablation studies |
 
 pub mod experiments;
+pub mod hotpath;
 pub mod runner;
 pub mod series;
 pub mod trace_tools;

@@ -1,4 +1,18 @@
 //! Per-bank row-buffer state machine.
+//!
+//! Two representations share one implementation:
+//!
+//! * [`BankCursor`] — the bank state as a flat, `Copy`, sentinel-encoded
+//!   record. This is what the hot batch paths hold in registers while a
+//!   per-bank loop services a bucket of requests, and it carries the only
+//!   implementation of the access/RowClone/digest state machine.
+//! * [`Bank`] — an `Option`-typed view over a cursor, kept as the public
+//!   accessor API (`raw_open_row() -> Option<u64>` etc.) and as the unit
+//!   under test for the bank-level properties.
+//!
+//! Whole-device storage lives in [`BankArray`](crate::bank_array::BankArray),
+//! which holds one parallel flat array per cursor field and loads/stores
+//! cursors by bank index.
 
 use impact_core::time::Cycles;
 
@@ -33,7 +47,7 @@ impl AccessOutcome {
 }
 
 /// Per-bank event statistics.
-#[derive(Debug, Default, Clone, PartialEq, Eq)]
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
 pub struct BankStats {
     /// Number of row-buffer hits served.
     pub hits: u64,
@@ -86,117 +100,88 @@ impl core::ops::AddAssign for BankStats {
     }
 }
 
-/// One DRAM bank: an independent row buffer plus timing bookkeeping.
+/// The complete state of one DRAM bank as a flat `Copy` record: an
+/// independent row buffer plus timing bookkeeping.
 ///
-/// The bank tracks which row is open, until when the bank is busy and when
-/// the open row was last touched (for the optional idle timeout). It also
-/// records the identity of the last actor to activate a row, which the
-/// side-channel analysis uses as ground truth.
-#[derive(Debug, Clone)]
-pub struct Bank {
-    open_row: Option<u64>,
-    busy_until: Cycles,
-    last_use: Cycles,
-    last_activator: Option<u32>,
-    stats: BankStats,
+/// The cursor tracks which row is open, until when the bank is busy and
+/// when the open row was last touched (for the optional idle timeout). It
+/// also records the identity of the last actor to activate a row, which
+/// the side-channel analysis uses as ground truth.
+///
+/// `Option` fields are sentinel-encoded so the whole record is `Copy` and
+/// register-friendly:
+///
+/// * `open_row == `[`BankCursor::NO_ROW`] means "precharged". Row indices
+///   derive from in-capacity physical addresses, so a real row can never
+///   reach the sentinel.
+/// * `last_activator == `[`BankCursor::NO_ACTOR`] means "never activated".
+///   Actor ids are `u32` (every value of which is valid, including the
+///   anonymous `u32::MAX`), so the sentinel must live above `u32` range —
+///   hence the field is a `u64`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BankCursor {
+    /// Open row, or [`BankCursor::NO_ROW`] when precharged.
+    pub open_row: u64,
+    /// When the bank becomes free.
+    pub busy_until: Cycles,
+    /// When the open row was last touched.
+    pub last_use: Cycles,
+    /// Last activating actor (a `u32` value), or [`BankCursor::NO_ACTOR`].
+    pub last_activator: u64,
+    /// Accumulated statistics.
+    pub stats: BankStats,
 }
 
-impl Bank {
-    /// Creates a precharged, idle bank.
+impl BankCursor {
+    /// Sentinel in [`BankCursor::open_row`]: no row is open.
+    pub const NO_ROW: u64 = u64::MAX;
+    /// Sentinel in [`BankCursor::last_activator`]: no activation yet.
+    /// Above `u32` range, so every real actor id (a `u32`) is encodable.
+    pub const NO_ACTOR: u64 = u64::MAX;
+
+    /// A precharged, idle bank.
     #[must_use]
-    pub fn new() -> Bank {
-        Bank {
-            open_row: None,
+    pub fn new() -> BankCursor {
+        BankCursor {
+            open_row: BankCursor::NO_ROW,
             busy_until: Cycles::ZERO,
             last_use: Cycles::ZERO,
-            last_activator: None,
+            last_activator: BankCursor::NO_ACTOR,
             stats: BankStats::default(),
         }
     }
 
     /// The currently open row under `policy` as observed at time `now`
-    /// (accounts for the idle timeout without mutating state).
+    /// (accounts for the idle timeout without mutating state), sentinel
+    /// encoded.
+    #[inline]
     #[must_use]
-    pub fn open_row_at(&self, now: Cycles, policy: RowPolicy) -> Option<u64> {
+    pub fn open_row_at(&self, now: Cycles, policy: RowPolicy) -> u64 {
         match policy {
-            RowPolicy::Closed => None,
+            RowPolicy::Closed => BankCursor::NO_ROW,
             RowPolicy::Open { idle_timeout } => {
-                let row = self.open_row?;
                 if let Some(t) = idle_timeout {
-                    if now.saturating_sub(self.last_use) > t {
-                        return None;
+                    if self.open_row != BankCursor::NO_ROW && now.saturating_sub(self.last_use) > t
+                    {
+                        return BankCursor::NO_ROW;
                     }
                 }
-                Some(row)
+                self.open_row
             }
         }
     }
 
-    /// Raw open row irrespective of policy/timeouts.
-    #[must_use]
-    pub fn raw_open_row(&self) -> Option<u64> {
-        self.open_row
-    }
-
-    /// The actor that last activated a row in this bank, if any.
-    #[must_use]
-    pub fn last_activator(&self) -> Option<u32> {
-        self.last_activator
-    }
-
-    /// When the bank becomes free.
-    #[must_use]
-    pub fn busy_until(&self) -> Cycles {
-        self.busy_until
-    }
-
-    /// Accumulated statistics.
-    #[must_use]
-    pub fn stats(&self) -> &BankStats {
-        &self.stats
-    }
-
-    /// Folds the complete bank state — open row, timing bookkeeping, last
-    /// activator and statistics — into a running FNV-1a accumulator. Two
-    /// banks fold identically iff they are in identical states, which is
-    /// how trace replays prove "final DRAM state is bit-identical" across
-    /// backends and machines without shipping the state itself.
-    #[must_use]
-    pub fn fold_state(&self, mut hash: u64) -> u64 {
-        use impact_core::hash::fnv1a_u64;
-        let fold_opt = |h: u64, v: Option<u64>| match v {
-            None => fnv1a_u64(h, 0),
-            Some(v) => fnv1a_u64(fnv1a_u64(h, 1), v),
-        };
-        hash = fold_opt(hash, self.open_row);
-        hash = fnv1a_u64(hash, self.busy_until.0);
-        hash = fnv1a_u64(hash, self.last_use.0);
-        hash = fold_opt(hash, self.last_activator.map(u64::from));
-        let BankStats {
-            hits,
-            misses,
-            conflicts,
-            activations,
-            rowclones,
-        } = self.stats;
-        for counter in [hits, misses, conflicts, activations, rowclones] {
-            hash = fnv1a_u64(hash, counter);
-        }
-        hash
-    }
-
-    /// Resets state and statistics.
-    pub fn reset(&mut self) {
-        *self = Bank::new();
-    }
-
     /// Classifies an access to `row` at `now` without serving it.
+    #[inline]
     #[must_use]
     pub fn classify(&self, row: u64, now: Cycles, policy: RowPolicy) -> RowBufferKind {
-        match self.open_row_at(now, policy) {
-            Some(open) if open == row => RowBufferKind::Hit,
-            Some(_) => RowBufferKind::Conflict,
-            None => RowBufferKind::Miss,
+        let open = self.open_row_at(now, policy);
+        if open == row {
+            RowBufferKind::Hit
+        } else if open == BankCursor::NO_ROW {
+            RowBufferKind::Miss
+        } else {
+            RowBufferKind::Conflict
         }
     }
 
@@ -204,6 +189,7 @@ impl Bank {
     ///
     /// Returns the classification, the device latency and the completion
     /// time. The bank is busy until completion.
+    #[inline]
     pub fn access(
         &mut self,
         row: u64,
@@ -237,15 +223,15 @@ impl Bank {
             RowPolicy::Closed => {
                 // Auto-precharge after the access; precharge overlaps with
                 // the requester's completion.
-                self.open_row = None;
+                self.open_row = BankCursor::NO_ROW;
                 self.busy_until = completed + timing.t_rp;
             }
             RowPolicy::Open { .. } => {
-                self.open_row = Some(row);
+                self.open_row = row;
             }
         }
         if kind != RowBufferKind::Hit {
-            self.last_activator = Some(actor);
+            self.last_activator = u64::from(actor);
         }
         AccessOutcome {
             kind,
@@ -256,23 +242,8 @@ impl Bank {
     }
 
     /// Serves a RowClone copy from `src_row` to `dst_row` requested at
-    /// `now` by `actor`.
-    ///
-    /// Same-subarray copies use Fast Parallel Mode, whose latency depends
-    /// on the row-buffer state exactly like a normal access (this is the
-    /// IMPACT-PuM timing channel):
-    /// - source row already open → single extra activation,
-    /// - bank precharged → two back-to-back activations,
-    /// - other row open → precharge first.
-    ///
-    /// Copies that cross a subarray boundary (`rows_per_subarray`) fall
-    /// back to Pipelined Serial Mode, streaming `psm_lines` cache lines
-    /// through the internal bus — an order of magnitude slower
-    /// (Seshadri et al., MICRO'13). Pass `rows_per_subarray = 0` to treat
-    /// the whole bank as one subarray.
-    ///
-    /// After the copy the destination row is connected to the bitlines, so
-    /// it is left open under open-row policies.
+    /// `now` by `actor`. See [`Bank::rowclone`] for the timing model.
+    #[inline]
     #[allow(clippy::too_many_arguments)]
     pub fn rowclone(
         &mut self,
@@ -321,14 +292,14 @@ impl Bank {
         self.last_use = completed;
         match policy {
             RowPolicy::Closed => {
-                self.open_row = None;
+                self.open_row = BankCursor::NO_ROW;
                 self.busy_until = completed + timing.t_rp;
             }
             RowPolicy::Open { .. } => {
-                self.open_row = Some(dst_row);
+                self.open_row = dst_row;
             }
         }
-        self.last_activator = Some(actor);
+        self.last_activator = u64::from(actor);
         AccessOutcome {
             kind,
             latency,
@@ -336,12 +307,200 @@ impl Bank {
             completed_at: completed,
         }
     }
+
+    /// Folds the complete bank state — open row, timing bookkeeping, last
+    /// activator and statistics — into a running FNV-1a accumulator. Two
+    /// banks fold identically iff they are in identical states, which is
+    /// how trace replays prove "final DRAM state is bit-identical" across
+    /// backends and machines without shipping the state itself.
+    ///
+    /// The digest layout is the historical `Option`-tagged one (a 0 tag
+    /// for "absent", a 1 tag followed by the value), so digests recorded
+    /// before the sentinel encoding — including on-disk trace footers —
+    /// still verify.
+    #[must_use]
+    pub fn fold_state(&self, mut hash: u64) -> u64 {
+        use impact_core::hash::fnv1a_u64;
+        let fold_enc = |h: u64, v: u64, sentinel: u64| {
+            if v == sentinel {
+                fnv1a_u64(h, 0)
+            } else {
+                fnv1a_u64(fnv1a_u64(h, 1), v)
+            }
+        };
+        hash = fold_enc(hash, self.open_row, BankCursor::NO_ROW);
+        hash = fnv1a_u64(hash, self.busy_until.0);
+        hash = fnv1a_u64(hash, self.last_use.0);
+        hash = fold_enc(hash, self.last_activator, BankCursor::NO_ACTOR);
+        let BankStats {
+            hits,
+            misses,
+            conflicts,
+            activations,
+            rowclones,
+        } = self.stats;
+        for counter in [hits, misses, conflicts, activations, rowclones] {
+            hash = fnv1a_u64(hash, counter);
+        }
+        hash
+    }
+}
+
+impl Default for BankCursor {
+    fn default() -> BankCursor {
+        BankCursor::new()
+    }
+}
+
+/// One DRAM bank: an independent row buffer plus timing bookkeeping.
+///
+/// A thin `Option`-typed view over a [`BankCursor`] (which holds the
+/// actual state machine); see the module docs for the split.
+#[derive(Debug, Clone)]
+pub struct Bank {
+    cur: BankCursor,
+}
+
+impl Bank {
+    /// Creates a precharged, idle bank.
+    #[must_use]
+    pub fn new() -> Bank {
+        Bank {
+            cur: BankCursor::new(),
+        }
+    }
+
+    /// Wraps a cursor (used by
+    /// [`BankArray`](crate::bank_array::BankArray) to snapshot a bank).
+    #[must_use]
+    pub fn from_cursor(cur: BankCursor) -> Bank {
+        Bank { cur }
+    }
+
+    /// The underlying flat state record.
+    #[must_use]
+    pub fn cursor(&self) -> BankCursor {
+        self.cur
+    }
+
+    /// The currently open row under `policy` as observed at time `now`
+    /// (accounts for the idle timeout without mutating state).
+    #[must_use]
+    pub fn open_row_at(&self, now: Cycles, policy: RowPolicy) -> Option<u64> {
+        decode(self.cur.open_row_at(now, policy), BankCursor::NO_ROW)
+    }
+
+    /// Raw open row irrespective of policy/timeouts.
+    #[must_use]
+    pub fn raw_open_row(&self) -> Option<u64> {
+        decode(self.cur.open_row, BankCursor::NO_ROW)
+    }
+
+    /// The actor that last activated a row in this bank, if any.
+    #[must_use]
+    pub fn last_activator(&self) -> Option<u32> {
+        decode(self.cur.last_activator, BankCursor::NO_ACTOR)
+            .map(|v| u32::try_from(v).expect("actor ids are u32"))
+    }
+
+    /// When the bank becomes free.
+    #[must_use]
+    pub fn busy_until(&self) -> Cycles {
+        self.cur.busy_until
+    }
+
+    /// Accumulated statistics.
+    #[must_use]
+    pub fn stats(&self) -> &BankStats {
+        &self.cur.stats
+    }
+
+    /// Folds the complete bank state into a running FNV-1a accumulator;
+    /// see [`BankCursor::fold_state`].
+    #[must_use]
+    pub fn fold_state(&self, hash: u64) -> u64 {
+        self.cur.fold_state(hash)
+    }
+
+    /// Resets state and statistics.
+    pub fn reset(&mut self) {
+        self.cur = BankCursor::new();
+    }
+
+    /// Classifies an access to `row` at `now` without serving it.
+    #[must_use]
+    pub fn classify(&self, row: u64, now: Cycles, policy: RowPolicy) -> RowBufferKind {
+        self.cur.classify(row, now, policy)
+    }
+
+    /// Serves a read/write access to `row` requested at `now` by `actor`.
+    ///
+    /// Returns the classification, the device latency and the completion
+    /// time. The bank is busy until completion.
+    pub fn access(
+        &mut self,
+        row: u64,
+        now: Cycles,
+        actor: u32,
+        timing: &ResolvedTiming,
+        policy: RowPolicy,
+    ) -> AccessOutcome {
+        self.cur.access(row, now, actor, timing, policy)
+    }
+
+    /// Serves a RowClone copy from `src_row` to `dst_row` requested at
+    /// `now` by `actor`.
+    ///
+    /// Same-subarray copies use Fast Parallel Mode, whose latency depends
+    /// on the row-buffer state exactly like a normal access (this is the
+    /// IMPACT-PuM timing channel):
+    /// - source row already open → single extra activation,
+    /// - bank precharged → two back-to-back activations,
+    /// - other row open → precharge first.
+    ///
+    /// Copies that cross a subarray boundary (`rows_per_subarray`) fall
+    /// back to Pipelined Serial Mode, streaming `psm_lines` cache lines
+    /// through the internal bus — an order of magnitude slower
+    /// (Seshadri et al., MICRO'13). Pass `rows_per_subarray = 0` to treat
+    /// the whole bank as one subarray.
+    ///
+    /// After the copy the destination row is connected to the bitlines, so
+    /// it is left open under open-row policies.
+    #[allow(clippy::too_many_arguments)]
+    pub fn rowclone(
+        &mut self,
+        src_row: u64,
+        dst_row: u64,
+        now: Cycles,
+        actor: u32,
+        timing: &ResolvedTiming,
+        policy: RowPolicy,
+        rows_per_subarray: u64,
+        psm_lines: u64,
+    ) -> AccessOutcome {
+        self.cur.rowclone(
+            src_row,
+            dst_row,
+            now,
+            actor,
+            timing,
+            policy,
+            rows_per_subarray,
+            psm_lines,
+        )
+    }
 }
 
 impl Default for Bank {
     fn default() -> Bank {
         Bank::new()
     }
+}
+
+/// Decodes a sentinel-encoded field into an `Option`.
+#[inline]
+fn decode(v: u64, sentinel: u64) -> Option<u64> {
+    (v != sentinel).then_some(v)
 }
 
 #[cfg(test)]
@@ -421,6 +580,18 @@ mod tests {
     }
 
     #[test]
+    fn anonymous_actor_id_is_representable() {
+        // u32::MAX is a real actor id (the anonymous actor), so it must
+        // round-trip through the sentinel encoding unscathed.
+        let t = timing();
+        let p = RowPolicy::open_page();
+        let mut b = Bank::new();
+        assert_eq!(b.last_activator(), None);
+        b.access(5, Cycles(0), u32::MAX, &t, p);
+        assert_eq!(b.last_activator(), Some(u32::MAX));
+    }
+
+    #[test]
     fn rowclone_latencies() {
         let t = timing();
         let p = RowPolicy::open_page();
@@ -464,7 +635,7 @@ mod tests {
         let p = RowPolicy::open_page();
         let mut b = Bank::new();
         b.access(5, Cycles(0), 0, &t, p);
-        let before = b.stats().clone();
+        let before = *b.stats();
         let k = b.classify(6, Cycles(1000), p);
         assert_eq!(k, RowBufferKind::Conflict);
         assert_eq!(b.stats(), &before);
@@ -522,6 +693,47 @@ mod tests {
 
         a.reset();
         assert_eq!(a.fold_state(FNV_OFFSET), fresh);
+    }
+
+    #[test]
+    fn fold_state_matches_manual_option_layout() {
+        // Pin the digest layout to the historical `Option`-tagged fold: a
+        // refactor of the sentinel encoding must not change what trace
+        // footers recorded before it.
+        use impact_core::hash::{fnv1a_u64, FNV_OFFSET};
+        let t = timing();
+        let p = RowPolicy::open_page();
+        let mut b = Bank::new();
+        let o = b.access(5, Cycles(0), 3, &t, p);
+
+        let fold_opt = |h: u64, v: Option<u64>| match v {
+            None => fnv1a_u64(h, 0),
+            Some(v) => fnv1a_u64(fnv1a_u64(h, 1), v),
+        };
+        let mut expect = FNV_OFFSET;
+        expect = fold_opt(expect, Some(5));
+        expect = fnv1a_u64(expect, o.completed_at.0);
+        expect = fnv1a_u64(expect, o.completed_at.0);
+        expect = fold_opt(expect, Some(3));
+        for counter in [0u64, 1, 0, 1, 0] {
+            expect = fnv1a_u64(expect, counter);
+        }
+        assert_eq!(b.fold_state(FNV_OFFSET), expect);
+    }
+
+    #[test]
+    fn cursor_roundtrips_through_bank() {
+        let t = timing();
+        let p = RowPolicy::open_page();
+        let mut b = Bank::new();
+        b.access(5, Cycles(0), 3, &t, p);
+        b.access(5, Cycles(500), 4, &t, p);
+        let snap = Bank::from_cursor(b.cursor());
+        assert_eq!(snap.raw_open_row(), b.raw_open_row());
+        assert_eq!(snap.last_activator(), b.last_activator());
+        assert_eq!(snap.busy_until(), b.busy_until());
+        assert_eq!(snap.stats(), b.stats());
+        assert_eq!(snap.fold_state(7), b.fold_state(7));
     }
 }
 
@@ -599,6 +811,24 @@ mod proptests {
                 prop_assert!(out.issued_at >= Cycles(at));
                 last = out.completed_at;
             }
+        }
+
+        /// The cursor state machine and the `Bank` wrapper are the same
+        /// implementation: driving both with an identical request stream
+        /// leaves identical state, statistics, and digests.
+        #[test]
+        fn cursor_equals_bank(reqs in prop::collection::vec((0u64..64, 0u64..50_000, 0u32..4), 1..60)) {
+            let t = timing();
+            let policy = RowPolicy::open_page();
+            let mut bank = Bank::new();
+            let mut cur = BankCursor::new();
+            for (row, at, actor) in reqs {
+                let a = bank.access(row, Cycles(at), actor, &t, policy);
+                let b = cur.access(row, Cycles(at), actor, &t, policy);
+                prop_assert_eq!(a, b);
+            }
+            prop_assert_eq!(bank.cursor(), cur);
+            prop_assert_eq!(bank.fold_state(1), cur.fold_state(1));
         }
     }
 }

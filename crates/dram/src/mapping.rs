@@ -32,12 +32,71 @@ pub trait AddressMapping: Send + Sync {
         (self.flat_bank(addr), self.map(addr).row)
     }
 
+    /// Batch [`AddressMapping::locate`]: replaces `out` with one
+    /// `(flat bank, row)` pair per address, in order. The bank is narrowed
+    /// to `u32` — the flat bank space is a `u32` product by construction
+    /// (`DramGeometry::total_banks`) — so a batch's location table stays
+    /// compact. One virtual call per *batch* instead of per request;
+    /// implementations should override to strength-reduce the address
+    /// split across the whole monomorphic loop.
+    fn locate_batch(&self, addrs: &[PhysAddr], out: &mut Vec<(u32, u64)>) {
+        out.clear();
+        out.reserve(addrs.len());
+        for &addr in addrs {
+            let (bank, row) = self.locate(addr);
+            // analyze::allow(lossy-cast): flat bank < total_banks, a u32
+            // product by construction (DramGeometry::total_banks)
+            out.push((bank as u32, row));
+        }
+    }
+
     /// Inverse mapping used by memory massaging: returns a physical address
     /// that lands in `bank` (flat index) at `row` with byte `column`.
     fn compose(&self, bank: usize, row: u64, column: u32) -> PhysAddr;
 
     /// The geometry this mapping was built for.
     fn geometry(&self) -> &DramGeometry;
+}
+
+/// Precomputed shift/mask split for power-of-two geometries: replaces the
+/// two `u64` divisions of the generic `chunk = addr / row_bytes;
+/// bank = chunk % banks; row = chunk / banks` decomposition with shifts —
+/// the difference between ~40 and ~2 cycles per located request on the
+/// batch hot path. Every paper geometry (8 KiB rows, 16–8192 banks) is
+/// power-of-two on both axes.
+#[derive(Debug, Clone, Copy)]
+struct Pow2Split {
+    /// `log2(row_bytes)`.
+    row_shift: u32,
+    /// `row_bytes - 1`.
+    column_mask: u64,
+    /// `log2(total_banks)`.
+    bank_shift: u32,
+    /// `total_banks - 1`.
+    bank_mask: u64,
+}
+
+impl Pow2Split {
+    fn for_geometry(geometry: &DramGeometry) -> Option<Pow2Split> {
+        let banks = u64::from(geometry.total_banks());
+        let row_bytes = geometry.row_bytes;
+        (row_bytes.is_power_of_two() && banks.is_power_of_two()).then(|| Pow2Split {
+            row_shift: row_bytes.trailing_zeros(),
+            column_mask: row_bytes - 1,
+            bank_shift: banks.trailing_zeros(),
+            bank_mask: banks - 1,
+        })
+    }
+
+    /// `(row, raw bank, column)` of an address, shifts and masks only.
+    #[inline]
+    fn split(self, addr: u64) -> (u64, u64, u32) {
+        let chunk = addr >> self.row_shift;
+        // analyze::allow(lossy-cast): column < row_bytes (8 KiB rows; any
+        // plausible geometry keeps row sizes far below 2^32)
+        let column = (addr & self.column_mask) as u32;
+        (chunk >> self.bank_shift, chunk & self.bank_mask, column)
+    }
 }
 
 /// Row-interleaved mapping: `addr = ((row * banks + bank) * row_bytes) + col`.
@@ -48,16 +107,23 @@ pub trait AddressMapping: Send + Sync {
 #[derive(Debug, Clone)]
 pub struct RowInterleaved {
     geometry: DramGeometry,
+    pow2: Option<Pow2Split>,
 }
 
 impl RowInterleaved {
     /// Creates the mapping for a geometry.
     #[must_use]
     pub fn new(geometry: DramGeometry) -> RowInterleaved {
-        RowInterleaved { geometry }
+        let pow2 = Pow2Split::for_geometry(&geometry);
+        RowInterleaved { geometry, pow2 }
     }
 
     fn split(&self, addr: PhysAddr) -> (u64, usize, u32) {
+        if let Some(p) = self.pow2 {
+            let (row, bank, column) = p.split(addr.0);
+            // analyze::allow(lossy-cast): bank <= bank_mask < total_banks
+            return (row, bank as usize, column);
+        }
         let row_bytes = self.geometry.row_bytes;
         let banks = u64::from(self.geometry.total_banks());
         let chunk = addr.0 / row_bytes;
@@ -85,6 +151,28 @@ impl AddressMapping for RowInterleaved {
         (bank, row)
     }
 
+    fn locate_batch(&self, addrs: &[PhysAddr], out: &mut Vec<(u32, u64)>) {
+        out.clear();
+        out.reserve(addrs.len());
+        if let Some(p) = self.pow2 {
+            for &addr in addrs {
+                let chunk = addr.0 >> p.row_shift;
+                // analyze::allow(lossy-cast): bank <= bank_mask < total_banks,
+                // a u32 product by construction (DramGeometry::total_banks)
+                out.push(((chunk & p.bank_mask) as u32, chunk >> p.bank_shift));
+            }
+            return;
+        }
+        let row_bytes = self.geometry.row_bytes;
+        let banks = u64::from(self.geometry.total_banks());
+        for &addr in addrs {
+            let chunk = addr.0 / row_bytes;
+            // analyze::allow(lossy-cast): bank < total_banks, a u32 product
+            // by construction (DramGeometry::total_banks)
+            out.push(((chunk % banks) as u32, chunk / banks));
+        }
+    }
+
     fn compose(&self, bank: usize, row: u64, column: u32) -> PhysAddr {
         let banks = u64::from(self.geometry.total_banks());
         debug_assert!((bank as u64) < banks);
@@ -103,6 +191,7 @@ impl AddressMapping for RowInterleaved {
 pub struct BankInterleavedXor {
     geometry: DramGeometry,
     bank_mask: u64,
+    pow2: Option<Pow2Split>,
 }
 
 impl BankInterleavedXor {
@@ -119,13 +208,21 @@ impl BankInterleavedXor {
             banks.is_power_of_two(),
             "XOR bank hashing requires a power-of-two bank count, got {banks}"
         );
+        let pow2 = Pow2Split::for_geometry(&geometry);
         BankInterleavedXor {
             geometry,
             bank_mask: banks - 1,
+            pow2,
         }
     }
 
     fn split(&self, addr: PhysAddr) -> (u64, usize, u32) {
+        if let Some(p) = self.pow2 {
+            let (row, raw_bank, column) = p.split(addr.0);
+            let bank = (raw_bank ^ (row & self.bank_mask)) & self.bank_mask;
+            // analyze::allow(lossy-cast): bank <= bank_mask < total_banks
+            return (row, bank as usize, column);
+        }
         let row_bytes = self.geometry.row_bytes;
         let banks = u64::from(self.geometry.total_banks());
         let chunk = addr.0 / row_bytes;
@@ -152,6 +249,33 @@ impl AddressMapping for BankInterleavedXor {
     fn locate(&self, addr: PhysAddr) -> (usize, u64) {
         let (row, bank, _) = self.split(addr);
         (bank, row)
+    }
+
+    fn locate_batch(&self, addrs: &[PhysAddr], out: &mut Vec<(u32, u64)>) {
+        out.clear();
+        out.reserve(addrs.len());
+        let mask = self.bank_mask;
+        if let Some(p) = self.pow2 {
+            for &addr in addrs {
+                let chunk = addr.0 >> p.row_shift;
+                let row = chunk >> p.bank_shift;
+                let bank = ((chunk & p.bank_mask) ^ (row & mask)) & mask;
+                // analyze::allow(lossy-cast): bank <= bank_mask <
+                // total_banks, a u32 product by construction
+                out.push((bank as u32, row));
+            }
+            return;
+        }
+        let row_bytes = self.geometry.row_bytes;
+        let banks = u64::from(self.geometry.total_banks());
+        for &addr in addrs {
+            let chunk = addr.0 / row_bytes;
+            let row = chunk / banks;
+            let bank = ((chunk % banks) ^ (row & mask)) & mask;
+            // analyze::allow(lossy-cast): bank <= bank_mask < total_banks,
+            // a u32 product by construction
+            out.push((bank as u32, row));
+        }
     }
 
     fn compose(&self, bank: usize, row: u64, column: u32) -> PhysAddr {
@@ -262,6 +386,42 @@ mod tests {
         let mut g = geo();
         g.bank_groups_per_rank = 3;
         let _ = BankInterleavedXor::new(g);
+    }
+
+    #[test]
+    fn locate_batch_agrees_with_locate() {
+        let addrs: Vec<PhysAddr> = (0..300u64).map(|i| PhysAddr(i * 5077 + 13)).collect();
+        let mut non_pow2 = geo();
+        non_pow2.bank_groups_per_rank = 3; // 12 banks: generic division path
+        let mappings: Vec<Box<dyn AddressMapping>> = vec![
+            Box::new(RowInterleaved::new(geo())),
+            Box::new(BankInterleavedXor::new(geo())),
+            Box::new(RowInterleaved::new(non_pow2)),
+        ];
+        for m in &mappings {
+            let mut out = Vec::new();
+            m.locate_batch(&addrs, &mut out);
+            assert_eq!(out.len(), addrs.len());
+            for (i, &addr) in addrs.iter().enumerate() {
+                let (bank, row) = m.locate(addr);
+                assert_eq!(out[i], (bank as u32, row), "addr {addr:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn pow2_split_matches_division() {
+        let g = geo();
+        let p = Pow2Split::for_geometry(&g).expect("paper geometry is pow2");
+        let banks = u64::from(g.total_banks());
+        for addr in (0..500u64).map(|i| i * 9973 + 7) {
+            let chunk = addr / g.row_bytes;
+            let expect = (chunk / banks, chunk % banks, (addr % g.row_bytes) as u32);
+            assert_eq!(p.split(addr), expect, "addr {addr}");
+        }
+        let mut odd = g;
+        odd.bank_groups_per_rank = 3;
+        assert!(Pow2Split::for_geometry(&odd).is_none());
     }
 
     #[test]

@@ -128,13 +128,13 @@ impl ControllerBackend for MemoryController {
     }
 
     fn dram_bank_stats(&self, bank: usize) -> BankStats {
-        self.dram().bank(bank).stats().clone()
+        *self.dram().bank(bank).stats()
     }
 
     fn dram_state_digest(&self) -> u64 {
         let mut hash = impact_core::hash::FNV_OFFSET;
         for bank in 0..self.dram().num_banks() {
-            hash = self.dram().bank(bank).fold_state(hash);
+            hash = self.dram().fold_bank_state(bank, hash);
         }
         hash
     }
@@ -158,7 +158,7 @@ impl ControllerBackend for ShardedController {
     }
 
     fn dram_bank_stats(&self, bank: usize) -> BankStats {
-        self.sub_for_bank(bank).dram().bank(bank).stats().clone()
+        *self.sub_for_bank(bank).dram().bank(bank).stats()
     }
 
     fn dram_state_digest(&self) -> u64 {
@@ -166,7 +166,7 @@ impl ControllerBackend for ShardedController {
         // comparable with the monolithic controller's.
         let mut hash = impact_core::hash::FNV_OFFSET;
         for bank in 0..MemoryBackend::num_banks(self) {
-            hash = self.sub_for_bank(bank).dram().bank(bank).fold_state(hash);
+            hash = self.sub_for_bank(bank).dram().fold_bank_state(bank, hash);
         }
         hash
     }

@@ -88,14 +88,20 @@ use crate::defense::Defense;
 /// (4096–8192 banks, one request per bank) always parallelize.
 pub const DEFAULT_PARALLEL_THRESHOLD: usize = 512;
 
+/// One shard's slice of a batch: positions in the original batch, the
+/// requests themselves, and their pre-computed `(flat bank, row)` pairs.
+type ShardBucket = (Vec<u32>, Vec<MemRequest>, Vec<(u32, u64)>);
+
 /// One unit of parallel work: a populated shard's *owned* sub-controller
 /// plus its request bucket, handed to a pool worker by value.
 struct ShardJob {
     shard: usize,
     sub: MemoryController,
     /// Positions of this bucket's requests in the original batch.
-    indices: Vec<usize>,
+    indices: Vec<u32>,
     reqs: Vec<MemRequest>,
+    /// `(flat bank, row)` per request, located once by the dispatcher.
+    locs: Vec<(u32, u64)>,
 }
 
 /// A finished [`ShardJob`]: the sub-controller comes home together with
@@ -103,8 +109,8 @@ struct ShardJob {
 struct ShardDone {
     shard: usize,
     sub: MemoryController,
-    indices: Vec<usize>,
-    result: thread::Result<Result<Vec<MemResponse>>>,
+    indices: Vec<u32>,
+    result: thread::Result<Vec<MemResponse>>,
 }
 
 /// A small persistent pool servicing [`ShardJob`]s. Ownership of each
@@ -131,7 +137,7 @@ impl WorkerPool {
                     // dispatcher waiting on `done_rx`; the payload is
                     // re-thrown on the servicing thread.
                     let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                        job.sub.service_batch(&job.reqs)
+                        job.sub.service_batch_located(&job.reqs, &job.locs)
                     }));
                     let done = ShardDone {
                         shard: job.shard,
@@ -208,8 +214,12 @@ impl ShardedController {
         let banks = cfg.dram_geometry.total_banks() as usize;
         let shards = shards.clamp(1, banks.max(1));
         ShardedController {
+            // Each shard stores only its own banks, packed densely
+            // (`from_config_bank_view`), so a request stream interleaved
+            // across shards touches the same number of state cache lines
+            // as the monolithic controller would.
             subs: (0..shards)
-                .map(|_| MemoryController::from_config(cfg))
+                .map(|s| MemoryController::from_config_bank_view(cfg, shards, s))
                 .collect(),
             local: BackendStats::default(),
             workers: 1,
@@ -355,8 +365,10 @@ impl ShardedController {
         }
         let row_bytes = self.geometry_row_bytes();
         // Pre-validate every lane in mask-bit order before touching any
-        // bank state, exactly like `MemoryController::rowclone`.
-        let mut lanes = Vec::new();
+        // bank state, exactly like `MemoryController::rowclone` — and with
+        // the same fixed stack scratch (a mask has at most 64 set bits).
+        let mut lane_buf = [(0usize, 0u64, 0u64); 64];
+        let mut n_lanes = 0usize;
         for i in 0..64u64 {
             if mask & (1 << i) == 0 {
                 continue;
@@ -373,8 +385,10 @@ impl ShardedController {
                 )));
             }
             self.sub_for_bank_mut(sbank).check_partition(sbank, actor)?;
-            lanes.push((sbank, srow, drow));
+            lane_buf[n_lanes] = (sbank, srow, drow);
+            n_lanes += 1;
         }
+        let lanes = &lane_buf[..n_lanes];
         // One whole masked operation; the lanes' DRAM-side counters land
         // in the owning shards.
         self.local.rowclones += 1;
@@ -425,9 +439,9 @@ impl ShardedController {
     /// runs in stable shard order regardless of completion order.
     fn service_buckets_parallel(
         &mut self,
-        by_shard: Vec<(Vec<usize>, Vec<MemRequest>)>,
+        by_shard: Vec<ShardBucket>,
         total: usize,
-    ) -> Result<Vec<MemResponse>> {
+    ) -> Vec<MemResponse> {
         // `set_workers` keeps the pool in lockstep with `workers`; the
         // guard only covers the unreachable case of a dropped pool.
         if !matches!(&self.pool, Some(p) if p.size() == self.workers) {
@@ -440,7 +454,7 @@ impl ShardedController {
         // keyed by shard index.
         let mut slots: Vec<Option<MemoryController>> = self.subs.drain(..).map(Some).collect();
         let mut dispatched = 0usize;
-        for (shard, (indices, reqs)) in by_shard.into_iter().enumerate() {
+        for (shard, (indices, reqs, locs)) in by_shard.into_iter().enumerate() {
             if reqs.is_empty() {
                 continue;
             }
@@ -450,6 +464,7 @@ impl ShardedController {
                 sub,
                 indices,
                 reqs,
+                locs,
             };
             pool.job_txs[dispatched % pool.size()]
                 .send(job)
@@ -458,8 +473,7 @@ impl ShardedController {
         }
 
         // Collect every sub-controller home before touching any result so
-        // the composite is whole even on the (unreachable, see
-        // `service_batch`) error path.
+        // the composite is whole even if a worker panicked.
         let mut outcomes = Vec::with_capacity(dispatched);
         for _ in 0..dispatched {
             let done = pool.done_rx.recv().expect("pool worker alive");
@@ -471,23 +485,22 @@ impl ShardedController {
             .map(|s| s.expect("every shard restored"))
             .collect();
 
-        // Stable shard order — never completion order — for panic/error
+        // Stable shard order — never completion order — for panic
         // propagation and response scatter.
         outcomes.sort_unstable_by_key(|&(shard, ..)| shard);
         let mut out = vec![None; total];
         for (_, indices, result) in outcomes {
             let resps = match result {
-                Ok(resps) => resps?,
+                Ok(resps) => resps,
                 Err(panic) => std::panic::resume_unwind(panic),
             };
             for (i, resp) in indices.into_iter().zip(resps) {
-                out[i] = Some(resp);
+                out[i as usize] = Some(resp);
             }
         }
-        Ok(out
-            .into_iter()
+        out.into_iter()
             .map(|r| r.expect("request served"))
-            .collect())
+            .collect()
     }
 }
 
@@ -509,17 +522,18 @@ impl MemoryBackend for ShardedController {
     fn service_batch(&mut self, reqs: &[MemRequest]) -> Result<Vec<MemResponse>> {
         // Shards are state-disjoint, so scalar requests can be bucketed
         // per shard and each bucket serviced through the sub-controller's
-        // amortized batch path; responses are reassembled in request
+        // bucketed batch path; responses are reassembled in request
         // order. The bucketed path requires that no request can fail
         // mid-flight (the serial contract applies state up to the first
         // failure): RowClones (cross-shard), partition defenses (can
         // reject) and out-of-range addresses all fall back to the
         // in-order loop. The same infallibility is what makes the bucket
         // order — and therefore the parallel path below — unobservable.
+        let capacity = self.subs[0].dram().geometry().capacity_bytes();
         let bucketable = !matches!(self.defense(), Defense::Mpr(_))
             && reqs.iter().all(|r| {
                 matches!(r.kind, ReqKind::Load | ReqKind::Store | ReqKind::Pim)
-                    && self.subs[0].check_capacity(r.addr).is_ok()
+                    && r.addr.0 < capacity
             });
         if !bucketable {
             if self.workers > 1 {
@@ -527,39 +541,74 @@ impl MemoryBackend for ShardedController {
             }
             return reqs.iter().map(|r| self.service(r)).collect();
         }
+        // Locate every request once — one virtual dispatch for the whole
+        // batch. Both dispatch paths consume the shared location table.
+        let addrs: Vec<PhysAddr> = reqs.iter().map(|r| r.addr).collect();
+        let mut locs = Vec::new();
+        self.subs[0].mapping().locate_batch(&addrs, &mut locs);
         let shards = self.subs.len();
-        let mut by_shard: Vec<(Vec<usize>, Vec<MemRequest>)> =
-            vec![(Vec::new(), Vec::new()); shards];
-        for (i, req) in reqs.iter().enumerate() {
-            let shard = self.shard_of(self.subs[0].mapping().flat_bank(req.addr));
-            by_shard[shard].0.push(i);
-            by_shard[shard].1.push(*req);
-        }
         // Adaptive dispatch: the worker pool only pays off once the batch
         // amortizes channel hand-off, so small batches (and single-shard
-        // ones) stay sequential.
-        let populated = by_shard.iter().filter(|(_, r)| !r.is_empty()).count();
-        if self.workers > 1 && populated > 1 && reqs.len() >= self.parallel_threshold {
-            self.local.parallel_batches += 1;
-            return self.service_buckets_parallel(by_shard, reqs.len());
+        // ones) stay sequential. Index lists are only built when the pool
+        // may actually run; the sequential path never buckets.
+        if self.workers > 1 && reqs.len() >= self.parallel_threshold {
+            let mut idx: Vec<Vec<u32>> = (0..shards)
+                .map(|_| Vec::with_capacity(reqs.len() / shards + 1))
+                .collect();
+            for (i, &(bank, _)) in locs.iter().enumerate() {
+                // analyze::allow(lossy-cast): batch length asserted to fit
+                // u32 in MemoryController::service_scatter before any index
+                // is used
+                idx[self.shard_of(bank as usize)].push(i as u32);
+            }
+            let populated = idx.iter().filter(|v| !v.is_empty()).count();
+            if populated > 1 {
+                self.local.parallel_batches += 1;
+                // Jobs cross a thread boundary, so each shard's requests
+                // and locations are copied into an owned bucket.
+                let by_shard: Vec<ShardBucket> = idx
+                    .into_iter()
+                    .map(|indices| {
+                        let shard_reqs = indices.iter().map(|&i| reqs[i as usize]).collect();
+                        let shard_locs = indices.iter().map(|&i| locs[i as usize]).collect();
+                        (indices, shard_reqs, shard_locs)
+                    })
+                    .collect();
+                return Ok(self.service_buckets_parallel(by_shard, reqs.len()));
+            }
         }
         if self.workers > 1 {
             self.local.sequential_fallbacks += 1;
         }
-        let mut out = vec![None; reqs.len()];
-        for (shard, (indices, shard_reqs)) in by_shard.into_iter().enumerate() {
-            if shard_reqs.is_empty() {
-                continue;
-            }
-            let resps = self.subs[shard].service_batch(&shard_reqs)?;
-            for (i, resp) in indices.into_iter().zip(resps) {
-                out[i] = Some(resp);
-            }
+        // Sequential: one in-order pass over the batch, each request
+        // served in place by its owning shard — no index lists, no
+        // placeholder responses, no scatter, and one sequential sweep over
+        // the request and location tables. Per-batch parameters are
+        // hoisted and statistics deltas deferred per shard, exactly as in
+        // the monolithic bucketed path; each shard's bank state is dense
+        // (see `from_config`), so the sweep touches no more state cache
+        // lines than the monolithic controller.
+        let envs: Vec<_> = self.subs.iter().map(MemoryController::batch_env).collect();
+        let mut accesses = vec![0u64; shards];
+        let mut blocked = vec![0u64; shards];
+        let mut padded = vec![0u64; shards];
+        let mut out = Vec::with_capacity(reqs.len());
+        for (req, &(bank, row)) in reqs.iter().zip(&locs) {
+            let s = self.shard_of(bank as usize);
+            accesses[s] += 1;
+            out.push(self.subs[s].serve_located(
+                req,
+                bank as usize,
+                row,
+                envs[s],
+                &mut blocked[s],
+                &mut padded[s],
+            ));
         }
-        Ok(out
-            .into_iter()
-            .map(|r| r.expect("request served"))
-            .collect())
+        for (s, sub) in self.subs.iter_mut().enumerate() {
+            sub.apply_batch_stats(accesses[s], blocked[s], padded[s]);
+        }
+        Ok(out)
     }
 
     fn backend_stats(&self) -> BackendStats {

@@ -1,0 +1,187 @@
+//! Property proof that the bucketed batch path is a pure optimization:
+//! for any request stream, `service_batch` is bit-for-bit equal to
+//! serving the same stream one `service()` call at a time — responses,
+//! merged `BackendStats`, DRAM totals and the full DRAM state digest —
+//! across the defense matrix {open, CTD, ACT, RFM} × backends
+//! {mono, sharded:N, sharded:N:W}.
+//!
+//! The batch path picks between several servicing tiers at runtime (the
+//! serial lean loop, the sparse in-place located pass, the dense
+//! register-cursor bucketed loops, and the sharded interleaved/pooled
+//! dispatches); this suite is what pins them all to the one semantic
+//! reference, the per-request state machine. A dedicated case covers the
+//! fallible paths: mixed RowClone batches and MPR partition rejections
+//! must error on the same request with identical partial state.
+
+use proptest::prelude::*;
+
+use impact::core::addr::PhysAddr;
+use impact::core::config::SystemConfig;
+use impact::core::engine::{MemRequest, MemoryBackend};
+use impact::core::rng::SimRng;
+use impact::core::time::Cycles;
+use impact::memctrl::{
+    ActConfig, ControllerBackend, Defense, MemoryController, MprPartition, PeriodicBlock,
+    ShardedController,
+};
+
+fn cfg() -> SystemConfig {
+    SystemConfig::paper_table2()
+}
+
+/// A mixed valid request stream: loads/stores/PiM over 16 banks plus
+/// masked RowClones whose lanes straddle shard boundaries.
+fn stream(n: u64, seed: u64, rowclones: bool) -> Vec<MemRequest> {
+    let mc = MemoryController::from_config(&cfg());
+    let row_bytes = mc.dram().geometry().row_bytes;
+    let mut rng = SimRng::seed(seed);
+    let mut at = Cycles(0);
+    (0..n)
+        .map(|i| {
+            let req = if rowclones && i % 9 == 8 {
+                let src = PhysAddr(64 * 16 * row_bytes * (1 + rng.below(3)));
+                let dst = PhysAddr(src.0 + 32 * 16 * row_bytes);
+                MemRequest::rowclone(src, dst, rng.below(u64::from(u16::MAX)).max(1), at, 0)
+            } else {
+                let addr = mc.mapping().compose(
+                    rng.below(16) as usize,
+                    rng.below(24),
+                    (rng.below(4) * 64) as u32,
+                );
+                let actor = rng.below(3) as u32;
+                match i % 3 {
+                    0 => MemRequest::store(addr, at, actor),
+                    1 => MemRequest::pim(addr, at, actor),
+                    _ => MemRequest::load(addr, at, actor),
+                }
+            };
+            at += Cycles(rng.below(900));
+            req
+        })
+        .collect()
+}
+
+/// One backend of the swept matrix, boxed for uniform handling.
+fn make_backend(sel: usize, shards: usize, workers: usize) -> Box<dyn ControllerBackend> {
+    match sel {
+        0 => Box::new(MemoryController::from_config(&cfg())),
+        1 => Box::new(ShardedController::from_config(&cfg(), shards)),
+        _ => {
+            let mut sc = ShardedController::from_config_parallel(&cfg(), shards, workers);
+            sc.set_parallel_threshold(8); // small batches still dispatch
+            Box::new(sc)
+        }
+    }
+}
+
+/// Applies one entry of the swept defense matrix.
+fn apply_defense(backend: &mut dyn ControllerBackend, sel: usize) {
+    match sel {
+        0 => {}
+        1 => backend.set_defense(Defense::Ctd),
+        2 => backend.set_defense(Defense::Act(ActConfig::aggressive())),
+        _ => backend.set_periodic_block(Some(PeriodicBlock::rfm_paper_default())),
+    }
+}
+
+proptest! {
+    /// The central equivalence: batched == per-request, bit for bit, on
+    /// every backend kind under every defense, RowClones included.
+    #[test]
+    fn batch_equals_per_request(
+        seed in 0u64..100_000,
+        defense_sel in 0usize..4,
+        backend_sel in 0usize..3,
+        shards in 1usize..9,
+        workers in 1usize..5,
+        chunk in 1usize..80,
+    ) {
+        let mut serial = make_backend(backend_sel, shards, workers);
+        let mut batched = make_backend(backend_sel, shards, workers);
+        apply_defense(serial.as_mut(), defense_sel);
+        apply_defense(batched.as_mut(), defense_sel);
+
+        let reqs = stream(72, seed, true);
+        let mut want = Vec::with_capacity(reqs.len());
+        for req in &reqs {
+            want.push(serial.service(req).expect("valid stream"));
+        }
+        let mut got = Vec::with_capacity(reqs.len());
+        for c in reqs.chunks(chunk) {
+            got.extend(batched.service_batch(c).expect("valid stream"));
+        }
+        prop_assert_eq!(want, got);
+        prop_assert_eq!(serial.backend_stats(), batched.backend_stats());
+        prop_assert_eq!(serial.dram_totals(), batched.dram_totals());
+        prop_assert_eq!(serial.dram_state_digest(), batched.dram_state_digest());
+    }
+
+    /// Cross-backend closure of the same property: the monolithic
+    /// per-request reference pins every batched backend at once.
+    #[test]
+    fn batched_backends_equal_mono_per_request(
+        seed in 0u64..100_000,
+        defense_sel in 0usize..4,
+        shards in 2usize..9,
+    ) {
+        let mut mono = MemoryController::from_config(&cfg());
+        apply_defense(&mut mono, defense_sel);
+        let reqs = stream(60, seed, true);
+        let want: Vec<_> = reqs
+            .iter()
+            .map(|r| MemoryBackend::service(&mut mono, r).expect("valid stream"))
+            .collect();
+
+        for backend_sel in 1..3usize {
+            let mut b = make_backend(backend_sel, shards, 3);
+            apply_defense(b.as_mut(), defense_sel);
+            let got = b.service_batch(&reqs).expect("valid stream");
+            prop_assert_eq!(&want, &got, "backend {} diverged", backend_sel);
+            prop_assert_eq!(mono.backend_stats(), b.backend_stats());
+            prop_assert_eq!(mono.dram_state_digest(), b.dram_state_digest());
+        }
+    }
+
+    /// The fallible paths: under an MPR partition some requests are
+    /// rejected, so a mixed RowClone/MPR batch must fail on the same
+    /// request as the serial loop — with the *partial* state applied up
+    /// to the failure identical on every backend.
+    #[test]
+    fn mpr_rowclone_batches_fail_identically(
+        seed in 0u64..100_000,
+        backend_sel in 0usize..3,
+        shards in 1usize..9,
+    ) {
+        let partition = {
+            let mut p = MprPartition::new(16);
+            p.assign_round_robin(&[0, 1]); // actor 2 is never allowed
+            p
+        };
+        let mut serial = make_backend(backend_sel, shards, 2);
+        let mut batched = make_backend(backend_sel, shards, 2);
+        serial.set_defense(Defense::Mpr(partition.clone()));
+        batched.set_defense(Defense::Mpr(partition));
+
+        let reqs = stream(48, seed, true);
+        // The serial reference applies requests up to the first failure —
+        // exactly the documented `service_batch` error contract.
+        let mut want: Result<Vec<_>, _> = Ok(Vec::new());
+        for req in &reqs {
+            match serial.service(req) {
+                Ok(resp) => want.as_mut().expect("still ok").push(resp),
+                Err(e) => {
+                    want = Err(e);
+                    break;
+                }
+            }
+        }
+        let got = batched.service_batch(&reqs);
+        match (want, got) {
+            (Ok(w), Ok(g)) => prop_assert_eq!(w, g),
+            (Err(w), Err(g)) => prop_assert_eq!(w.to_string(), g.to_string()),
+            (w, g) => prop_assert!(false, "divergent outcome: {:?} vs {:?}", w.is_ok(), g.is_ok()),
+        }
+        prop_assert_eq!(serial.backend_stats(), batched.backend_stats());
+        prop_assert_eq!(serial.dram_state_digest(), batched.dram_state_digest());
+    }
+}

@@ -93,7 +93,7 @@ fn same_seed_systems_accumulate_identical_stats() {
             latencies.push(latency);
         }
         let ctrl = sys.memctrl().stats().clone();
-        let bank0 = sys.memctrl().dram().bank(0).stats().clone();
+        let bank0 = *sys.memctrl().dram().bank(0).stats();
         (
             latencies,
             sys.elapsed(),

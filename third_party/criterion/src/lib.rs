@@ -18,10 +18,26 @@ pub fn black_box<T>(x: T) -> T {
     std_black_box(x)
 }
 
+/// One finished benchmark's timing summary, exposed so harnesses (the
+/// `bench_record` perf-trajectory recorder) can consume results
+/// programmatically instead of scraping stdout.
+#[derive(Debug, Clone)]
+pub struct BenchRecord {
+    /// Benchmark id as passed to `bench_function`.
+    pub id: String,
+    /// Mean time per iteration, nanoseconds.
+    pub mean_ns: u128,
+    /// Fastest sample, nanoseconds per iteration.
+    pub min_ns: u128,
+    /// Slowest sample, nanoseconds per iteration.
+    pub max_ns: u128,
+}
+
 /// Entry point handed to every benchmark function.
 pub struct Criterion {
     sample_size: usize,
     measurement_time: Duration,
+    records: Vec<BenchRecord>,
 }
 
 impl Default for Criterion {
@@ -29,11 +45,31 @@ impl Default for Criterion {
         Criterion {
             sample_size: 20,
             measurement_time: Duration::from_secs(1),
+            records: Vec::new(),
         }
     }
 }
 
 impl Criterion {
+    /// A configuration with a drastically reduced measurement budget, for
+    /// smoke runs where only the bench inventory (and rough magnitude)
+    /// matters — e.g. CI checks that the recorded bench key set is still
+    /// in sync with the code.
+    #[must_use]
+    pub fn quick() -> Criterion {
+        Criterion {
+            sample_size: 3,
+            measurement_time: Duration::from_millis(100),
+            records: Vec::new(),
+        }
+    }
+
+    /// Summaries of every benchmark run so far, in execution order.
+    #[must_use]
+    pub fn records(&self) -> &[BenchRecord] {
+        &self.records
+    }
+
     /// Runs a single named benchmark.
     pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
         let mut b = Bencher {
@@ -42,7 +78,8 @@ impl Criterion {
             measurement_time: self.measurement_time,
         };
         f(&mut b);
-        b.report(id);
+        let rec = b.report(id);
+        self.records.push(rec);
         self
     }
 
@@ -88,7 +125,8 @@ impl BenchmarkGroup<'_> {
                 .unwrap_or(self.parent.measurement_time),
         };
         f(&mut b);
-        b.report(&format!("{}/{}", self.name, id));
+        let rec = b.report(&format!("{}/{}", self.name, id));
+        self.parent.records.push(rec);
         self
     }
 
@@ -150,16 +188,27 @@ impl Bencher {
         }
     }
 
-    fn report(&self, id: &str) {
+    fn report(&self, id: &str) -> BenchRecord {
         if self.samples.is_empty() {
             println!("{id:<48} (no samples)");
-            return;
+            return BenchRecord {
+                id: id.to_string(),
+                mean_ns: 0,
+                min_ns: 0,
+                max_ns: 0,
+            };
         }
         let total: Duration = self.samples.iter().sum();
         let mean = total / (self.samples.len() as u32);
         let min = self.samples.iter().min().expect("nonempty");
         let max = self.samples.iter().max().expect("nonempty");
         println!("{id:<48} mean {mean:>12?}   min {min:>12?}   max {max:>12?}");
+        BenchRecord {
+            id: id.to_string(),
+            mean_ns: mean.as_nanos(),
+            min_ns: min.as_nanos(),
+            max_ns: max.as_nanos(),
+        }
     }
 }
 
