@@ -11,13 +11,16 @@
 //!   source file: unordered hash-map iteration in deterministic crates
 //!   (R1), wall-clock/environment reads (R2), ad-hoc concurrency outside
 //!   the sanctioned worker pools (R3), lossy address casts in the
-//!   dram/memctrl hot paths (R4), and `unsafe` anywhere (R5). Sites are
-//!   justified with `// analyze::allow(<rule>): <reason>` comments.
+//!   dram/memctrl hot paths (R4), `unsafe` anywhere (R5), and
+//!   copy-on-write unshare sites (`Arc::make_mut` & co.) outside the
+//!   audited inventory (R6). Sites are justified with
+//!   `// analyze::allow(<rule>): <reason>` comments.
 //! * **Layer 2** ([`invariants`]) — cross-file field-set coverage:
 //!   `BackendStats` ↔ merge/`AddAssign`/`PartialEq`/trace footer,
-//!   `TraceEvent` ↔ codec encode/decode arms, and configuration fields ↔
-//!   `SystemConfig::fingerprint`, with intentional exclusions recorded in
-//!   the [`manifest`] (`analyze.toml`).
+//!   `TraceEvent` ↔ codec encode/decode arms, configuration fields ↔
+//!   `SystemConfig::fingerprint`, and `Engine` state fields ↔
+//!   `Engine::snapshot`/`restore`, with intentional exclusions recorded
+//!   in the [`manifest`] (`analyze.toml`).
 //!
 //! Diagnostics are `file:line: rule: message` lines; the binary exits
 //! non-zero when any are produced, which is what gates CI.
@@ -224,6 +227,7 @@ pub fn analyze_workspace(root: &Path) -> Result<Vec<Diagnostic>, String> {
     let engine = read(invariants::ENGINE_RS);
     let codec = read(invariants::CODEC_RS);
     let config = read(invariants::CONFIG_RS);
+    let sim_engine = read(invariants::SIM_ENGINE_RS);
     let trace_mod = read("crates/core/src/trace/mod.rs");
     if let (Some(engine), Some(codec)) = (&engine, &codec) {
         diags.extend(invariants::check_backend_stats(engine, codec, &manifest));
@@ -233,6 +237,9 @@ pub fn analyze_workspace(root: &Path) -> Result<Vec<Diagnostic>, String> {
     }
     if let Some(config) = &config {
         diags.extend(invariants::check_fingerprint(config, &manifest));
+    }
+    if let Some(sim_engine) = &sim_engine {
+        diags.extend(invariants::check_engine_snapshot(sim_engine, &manifest));
     }
 
     diags.sort_by(|a, b| {

@@ -1,4 +1,4 @@
-//! Layer 1: per-file determinism & concurrency lint rules R1–R5.
+//! Layer 1: per-file determinism & concurrency lint rules R1–R6.
 //!
 //! Every rule is a token-pattern check over the [`crate::lexer`] stream;
 //! a site can be justified with a
@@ -18,10 +18,12 @@ pub const RULES: &[&str] = &[
     "concurrency",
     "lossy-cast",
     "unsafe-code",
+    "cow-aliasing",
     "allow-syntax",
     "stats-coverage",
     "trace-coverage",
     "fingerprint-coverage",
+    "snapshot-coverage",
 ];
 
 const ITER_METHODS: &[&str] = &[
@@ -500,6 +502,50 @@ impl Checker<'_> {
         }
     }
 
+    /// R6: copy-on-write alias-breaking operations in deterministic
+    /// production code. `Arc::make_mut` (and `get_mut`/`try_unwrap`) is
+    /// the only way simulation state behind a shared `Arc` may be
+    /// written — a snapshot or fork may hold the other reference, so
+    /// every unshare site is part of the fork-equivalence contract and
+    /// must say *which* state it unshares. Conversely, mutating shared
+    /// state any other way (interior mutability, re-wrapping) would leak
+    /// writes into live forks; keeping the audited inventory exhaustive
+    /// is what makes `Engine::fork` reviewable.
+    fn rule_cow_aliasing(&mut self) {
+        if !self.ctx.deterministic {
+            return;
+        }
+        let t = self.tokens;
+        let mut flagged = Vec::new();
+        for i in 0..t.len() {
+            if self.in_test[i] {
+                continue;
+            }
+            if !(t[i].is_ident("Arc") || t[i].is_ident("Rc")) {
+                continue;
+            }
+            if t.get(i + 1).is_some_and(|x| x.is_punct(':'))
+                && t.get(i + 2).is_some_and(|x| x.is_punct(':'))
+                && t.get(i + 3).is_some_and(|x| {
+                    x.is_ident("make_mut") || x.is_ident("get_mut") || x.is_ident("try_unwrap")
+                })
+            {
+                flagged.push((t[i].line, format!("{}::{}", t[i].text, t[i + 3].text)));
+            }
+        }
+        for (line, what) in flagged {
+            self.emit(
+                "cow-aliasing",
+                line,
+                format!(
+                    "`{what}` unshares copy-on-write state that a snapshot or fork may \
+                     alias; the site is part of the fork-equivalence contract — justify \
+                     which state it unshares and why the write cannot leak to a fork"
+                ),
+            );
+        }
+    }
+
     /// R5: `unsafe` anywhere in the workspace, tests included.
     fn rule_unsafe(&mut self) {
         let t = self.tokens;
@@ -544,6 +590,7 @@ pub fn check_source(ctx: &FileContext, src: &str) -> Vec<Diagnostic> {
     checker.rule_concurrency();
     checker.rule_lossy_cast();
     checker.rule_unsafe();
+    checker.rule_cow_aliasing();
     checker.check_allow_syntax();
     checker.diags
 }
@@ -678,6 +725,47 @@ mod tests {
                        slot as u32\n\
                        }";
         assert!(check_source(&ctx, allowed).is_empty());
+    }
+
+    #[test]
+    fn cow_aliasing_flags_unjustified_make_mut() {
+        let src = "fn f(s: &mut S) { Arc::make_mut(&mut s.cols)[0] = 1; }";
+        let d = check_source(&det_ctx(), src);
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert_eq!(d[0].rule, "cow-aliasing");
+        let allowed = "fn f(s: &mut S) {\n\
+                       // analyze::allow(cow-aliasing): unshares the bank columns only\n\
+                       Arc::make_mut(&mut s.cols)[0] = 1;\n\
+                       }";
+        assert!(check_source(&det_ctx(), allowed).is_empty());
+    }
+
+    #[test]
+    fn cow_aliasing_skips_tests_and_nondeterministic_crates() {
+        let in_test = "#[cfg(test)]\nmod t { fn f(s: &mut S) { Arc::make_mut(&mut s.x); } }";
+        assert!(check_source(&det_ctx(), in_test).is_empty());
+        let bench_ctx = FileContext {
+            deterministic: false,
+            ..det_ctx()
+        };
+        let src = "fn f(s: &mut S) { Arc::make_mut(&mut s.x); }";
+        assert!(check_source(&bench_ctx, src).is_empty());
+    }
+
+    #[test]
+    fn cow_aliasing_covers_other_unshare_ops() {
+        for src in [
+            "fn f(a: &mut Arc<T>) { Arc::get_mut(a); }",
+            "fn f(a: Arc<T>) { Arc::try_unwrap(a); }",
+            "fn f(a: &mut Rc<T>) { Rc::make_mut(a); }",
+        ] {
+            let d = check_source(&det_ctx(), src);
+            assert_eq!(d.len(), 1, "{src}: {d:?}");
+            assert_eq!(d[0].rule, "cow-aliasing");
+        }
+        // Plain Arc construction and cloning are not unshare sites.
+        let clean = "fn f() { let a = Arc::new(1); let b = Arc::clone(&a); }";
+        assert!(check_source(&det_ctx(), clean).is_empty());
     }
 
     #[test]

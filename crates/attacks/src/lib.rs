@@ -45,4 +45,4 @@ pub use channel::{message_from_str, ChannelReport};
 pub use pnm::PnmCovertChannel;
 pub use pum::PumCovertChannel;
 pub use recon::BankRecon;
-pub use side_channel::{SideChannelAttack, SideChannelReport};
+pub use side_channel::{SideChannelAttack, SideChannelInit, SideChannelReport};

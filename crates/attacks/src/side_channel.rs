@@ -36,7 +36,7 @@ use impact_genomics::genome::{Genome, ReadSampler};
 use impact_genomics::imputation::{score_rounds, LeakScore};
 use impact_genomics::index::{BankLayout, KmerIndex};
 use impact_genomics::mapper::{ReadMapper, RecordingObserver};
-use impact_sim::Engine;
+use impact_sim::{AgentId, Engine};
 
 /// Configuration of the side-channel experiment.
 #[derive(Debug, Clone)]
@@ -145,6 +145,31 @@ impl SideChannelReport {
     }
 }
 
+/// The initialized (but not yet measured) state of a side-channel run:
+/// everything [`SideChannelAttack::init`] set up that
+/// [`SideChannelAttack::measure`] needs.
+///
+/// The descriptor itself is engine-independent — it names agents, rows and
+/// the victim's bucket stream, while the warmed DRAM/TLB/clock state lives
+/// in the engine `init` ran on. That split is what makes the warm prefix
+/// forkable: snapshot or fork the engine after `init`, and one
+/// `SideChannelInit` drives `measure` on every fork.
+#[derive(Debug, Clone)]
+pub struct SideChannelInit {
+    /// The victim agent.
+    pub victim: AgentId,
+    /// The attacker agent.
+    pub attacker: AgentId,
+    /// The attacker's opened row in each bank, indexed by flat bank.
+    pub attacker_rows: Vec<VirtAddr>,
+    /// The victim's seeding-probe bucket sequence.
+    pub bucket_stream: Vec<usize>,
+    /// Hash-table-over-banks layout.
+    pub layout: BankLayout,
+    /// Banks in the swept table region.
+    pub banks: usize,
+}
+
 /// The side-channel attack harness.
 #[derive(Debug)]
 pub struct SideChannelAttack {
@@ -165,12 +190,27 @@ impl SideChannelAttack {
     }
 
     /// Runs the attack on `sys`, whose DRAM geometry determines the bank
-    /// count being swept.
+    /// count being swept. Equivalent to [`SideChannelAttack::init`]
+    /// followed by [`SideChannelAttack::measure`].
     ///
     /// # Errors
     ///
     /// Propagates simulator errors.
     pub fn run<B: MemoryBackend>(&self, sys: &mut Engine<B>) -> Result<SideChannelReport> {
+        let init = self.init(sys)?;
+        self.measure(sys, &init)
+    }
+
+    /// Initializes the attack on `sys`: victim-side preparation (genome,
+    /// index, read mapping — pure compute), agent spawning, the attacker's
+    /// row-opening sweep, and the clock-synchronizing barrier. This is the
+    /// sweep-point-independent warm prefix: fork the engine afterwards and
+    /// run [`SideChannelAttack::measure`] on each fork.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulator errors.
+    pub fn init<B: MemoryBackend>(&self, sys: &mut Engine<B>) -> Result<SideChannelInit> {
         let banks = sys.config().dram_geometry.total_banks() as usize;
         let layout = BankLayout::new(banks, self.cfg.table_buckets, 0);
 
@@ -195,7 +235,6 @@ impl SideChannelAttack {
         // --- Simulated agents ---
         let victim = sys.spawn_agent();
         let attacker = sys.spawn_agent();
-        let mut victim_rows: Vec<Option<VirtAddr>> = vec![None; banks];
         let mut attacker_rows: Vec<VirtAddr> = Vec::with_capacity(banks);
         // Open the attacker's row everywhere (initialization sweep). The
         // batched path keeps the serial allocate/warm/translate order per
@@ -230,6 +269,38 @@ impl SideChannelAttack {
         let sync_at = sys.now(victim).max(sys.now(attacker));
         sys.set_now(victim, sync_at);
         sys.set_now(attacker, sync_at);
+
+        Ok(SideChannelInit {
+            victim,
+            attacker,
+            attacker_rows,
+            bucket_stream,
+            layout,
+            banks,
+        })
+    }
+
+    /// Runs the measured phase on an engine prepared by
+    /// [`SideChannelAttack::init`] (or a fork of one).
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulator errors.
+    pub fn measure<B: MemoryBackend>(
+        &self,
+        sys: &mut Engine<B>,
+        init: &SideChannelInit,
+    ) -> Result<SideChannelReport> {
+        let SideChannelInit {
+            victim,
+            attacker,
+            attacker_rows,
+            bucket_stream,
+            layout,
+            banks,
+        } = init;
+        let (victim, attacker, banks) = (*victim, *attacker, *banks);
+        let mut victim_rows: Vec<Option<VirtAddr>> = vec![None; banks];
 
         // --- Interleaved co-simulation ---
         let mut bg_rng = SimRng::seed(self.cfg.seed ^ 0x6A6E);
@@ -313,7 +384,7 @@ impl SideChannelAttack {
         let mut score = score_rounds(&truth_rounds, &observed_rounds);
         score.false_negatives += aliased_misses;
         let elapsed = sys.now(attacker) - start;
-        let leaked_bits = score.leaked_bits(&layout);
+        let leaked_bits = score.leaked_bits(layout);
         Ok(SideChannelReport {
             score,
             probes,
@@ -405,6 +476,46 @@ mod tests {
             )
         };
         assert_eq!(run(true), run(false));
+    }
+
+    /// `init` + `measure` on a fork is bit-identical to a straight `run`,
+    /// and measuring on the fork leaves the warmed parent untouched.
+    #[test]
+    fn forked_measure_matches_run() {
+        use impact_core::snapshot::Snapshot;
+        use impact_memctrl::ControllerBackend;
+        let cfg = || SystemConfig::paper_table2_noiseless().with_total_banks(1024);
+        let attack = || {
+            SideChannelAttack::new(SideChannelConfig {
+                reads: 20,
+                ..SideChannelConfig::default()
+            })
+        };
+        let mut straight_sys = System::new(cfg());
+        let straight = attack().run(&mut straight_sys).unwrap();
+
+        let mut parent = System::new(cfg());
+        let init = attack().init(&mut parent).unwrap();
+        let warmed_digest = parent.backend().dram_state_digest();
+        let mut fork = parent.fork();
+        let forked = attack().measure(&mut fork, &init).unwrap();
+
+        assert_eq!(
+            parent.backend().dram_state_digest(),
+            warmed_digest,
+            "measuring on the fork mutated the parent"
+        );
+        assert_eq!(straight.score.true_positives, forked.score.true_positives);
+        assert_eq!(straight.score.false_positives, forked.score.false_positives);
+        assert_eq!(straight.score.false_negatives, forked.score.false_negatives);
+        assert_eq!(straight.probes, forked.probes);
+        assert_eq!(straight.elapsed, forked.elapsed);
+        assert_eq!(straight.leaked_bits.to_bits(), forked.leaked_bits.to_bits());
+        assert_eq!(straight_sys.dram_totals(), fork.dram_totals());
+        assert_eq!(
+            straight_sys.backend().dram_state_digest(),
+            fork.backend().dram_state_digest()
+        );
     }
 
     /// The attack runs identically on the sharded backend.

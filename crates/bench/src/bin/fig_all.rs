@@ -11,6 +11,7 @@
 //! fig_all --backend traced      # ... or behind a tracing proxy
 //! fig_all --record-trace f.trace  # capture a replayable trace file
 //! fig_all --trace f.trace       # run a captured trace as an experiment
+//! fig_all --fork-sweeps         # serve sweep points from engine forks
 //! ```
 //!
 //! With `--jobs N` (or `--jobs auto`) the suite is sharded across worker
@@ -24,6 +25,12 @@
 //! `--trace PATH` loads a previously captured trace and appends it to the
 //! suite as the `trace` experiment (a prefix-replay sweep whose series is
 //! bit-identical on every backend).
+//!
+//! `--fork-sweeps` warms each forkable experiment's init phase once and
+//! serves the sweep points from copy-on-write forks of the warmed engine
+//! (see the README's "Snapshots and forking" section). Output is
+//! bit-identical to a run without the flag — CI diffs the two byte for
+//! byte.
 
 use std::env;
 use std::fs::File;
@@ -55,7 +62,8 @@ const ALL: [&str; 13] = [
 fn usage_exit(msg: &str) -> ! {
     eprintln!("{msg}");
     eprintln!(
-        "usage: fig_all [--quick] [--csv] [--jobs N|auto] [--backend mono|sharded[:N[:T]]|traced] \
+        "usage: fig_all [--quick] [--csv] [--fork-sweeps] [--jobs N|auto] \
+         [--backend mono|sharded[:N[:T]]|traced] \
          [--record-trace PATH] [--trace PATH] [EXPERIMENT...]"
     );
     eprintln!("experiments: {}", ALL.join(", "));
@@ -76,6 +84,7 @@ fn main() {
     let args: Vec<String> = env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
     let csv = args.iter().any(|a| a == "--csv");
+    let fork_sweeps = args.iter().any(|a| a == "--fork-sweeps");
 
     let flag_value = |flag: &str| -> Option<String> {
         args.iter()
@@ -115,7 +124,7 @@ fn main() {
             continue;
         }
         if a.starts_with("--") {
-            if a != "--quick" && a != "--csv" {
+            if a != "--quick" && a != "--csv" && a != "--fork-sweeps" {
                 usage_exit(&format!("unknown flag {a:?}"));
             }
             continue;
@@ -160,12 +169,13 @@ fn main() {
         // A lone --trace runs just the captured-trace experiment.
         Vec::new()
     } else if selected.is_empty() {
-        experiments::suite(quick, backend)
+        experiments::suite_with(quick, backend, fork_sweeps)
     } else {
-        let mut pool: Vec<Option<ExperimentJob>> = experiments::suite(quick, backend)
-            .into_iter()
-            .map(Some)
-            .collect();
+        let mut pool: Vec<Option<ExperimentJob>> =
+            experiments::suite_with(quick, backend, fork_sweeps)
+                .into_iter()
+                .map(Some)
+                .collect();
         selected
             .iter()
             .map(|id| {
@@ -174,7 +184,7 @@ fn main() {
                     .and_then(Option::take)
                     .unwrap_or_else(|| {
                         // Duplicate selection: build a fresh instance.
-                        experiments::suite(quick, backend)
+                        experiments::suite_with(quick, backend, fork_sweeps)
                             .into_iter()
                             .find(|j| j.id() == *id)
                             .expect("validated against ALL")

@@ -6,6 +6,7 @@
 //! trace_replay replay run.trace [--backend mono|sharded[:N[:T]]|traced]
 //! trace_replay diff   a.trace b.trace
 //! trace_replay stats  run.trace
+//! trace_replay slice  run.trace --out window.trace --start N --count N
 //! ```
 //!
 //! `record` runs a canonical capture workload with the tracing proxy
@@ -14,7 +15,10 @@
 //! digest bit-for-bit against the recorded footer (exit code 1 on any
 //! mismatch). `diff` reports the first divergent event between two files
 //! with context (exit code 1 on divergence). `stats` prints the per-kind
-//! and per-bank request mix.
+//! and per-bank request mix. `slice` extracts an event window into a
+//! standalone trace whose footer is recomputed by replaying the window
+//! from pristine state — the result passes `replay` verification like any
+//! first-class capture (see `impact_bench::trace_tools::slice_capture`).
 
 use std::env;
 use std::fs::File;
@@ -22,9 +26,10 @@ use std::io::BufReader;
 use std::process::ExitCode;
 
 use impact_bench::trace_tools::{
-    diff_readers, record_capture, replay_file, trace_stats, CaptureKind, DiffOutcome,
+    diff_readers, record_capture, replay_file, slice_capture, trace_stats, CaptureKind, DiffOutcome,
 };
 use impact_sim::BackendKind;
+use impact_workloads::CapturedTrace;
 
 fn usage_exit(msg: &str) -> ! {
     eprintln!("{msg}");
@@ -33,7 +38,8 @@ fn usage_exit(msg: &str) -> ! {
          [--backend mono|sharded[:N[:T]]|traced] [--quick] [--seed N]\n\
          \x20      trace_replay replay FILE [--backend mono|sharded[:N[:T]]|traced]\n\
          \x20      trace_replay diff A B\n\
-         \x20      trace_replay stats FILE"
+         \x20      trace_replay stats FILE\n\
+         \x20      trace_replay slice FILE --out FILE --start N --count N"
     );
     std::process::exit(2);
 }
@@ -45,6 +51,8 @@ struct Args {
     scenario: CaptureKind,
     seed: u64,
     out: Option<String>,
+    start: Option<usize>,
+    count: Option<usize>,
 }
 
 fn parse_args(raw: &[String]) -> Args {
@@ -55,6 +63,8 @@ fn parse_args(raw: &[String]) -> Args {
         scenario: CaptureKind::Mix,
         seed: 0x7ACE,
         out: None,
+        start: None,
+        count: None,
     };
     let mut it = raw.iter();
     while let Some(a) = it.next() {
@@ -82,6 +92,20 @@ fn parse_args(raw: &[String]) -> Args {
                     .unwrap_or_else(|_| usage_exit(&format!("bad --seed value {v:?}")));
             }
             "--out" => args.out = Some(value("--out")),
+            "--start" => {
+                let v = value("--start");
+                args.start = Some(
+                    v.parse()
+                        .unwrap_or_else(|_| usage_exit(&format!("bad --start value {v:?}"))),
+                );
+            }
+            "--count" => {
+                let v = value("--count");
+                args.count = Some(
+                    v.parse()
+                        .unwrap_or_else(|_| usage_exit(&format!("bad --count value {v:?}"))),
+                );
+            }
             flag if flag.starts_with("--") => usage_exit(&format!("unknown flag {flag:?}")),
             _ => args.positional.push(a.clone()),
         }
@@ -254,6 +278,40 @@ fn main() -> ExitCode {
                     println!("    bank {bank:>4}: {count}");
                 }
             }
+            ExitCode::SUCCESS
+        }
+        "slice" => {
+            let [file] = &args.positional[..] else {
+                usage_exit("slice takes exactly one trace file");
+            };
+            let Some(out) = args.out.as_deref() else {
+                usage_exit("slice needs --out FILE");
+            };
+            let Some(count) = args.count else {
+                usage_exit("slice needs --count N");
+            };
+            let start = args.start.unwrap_or(0);
+            let captured = CapturedTrace::read_from(open(file)).unwrap_or_else(|e| {
+                eprintln!("trace_replay: cannot read {file}: {e}");
+                std::process::exit(1);
+            });
+            let sink = File::create(out)
+                .unwrap_or_else(|e| usage_exit(&format!("cannot create {out}: {e}")));
+            let outcome = slice_capture(&captured, start, count, std::io::BufWriter::new(sink))
+                .unwrap_or_else(|e| {
+                    eprintln!("trace_replay: slice failed: {e}");
+                    std::process::exit(1);
+                });
+            println!(
+                "sliced events [{start}, {}) of {} into {out}",
+                start + count,
+                captured.events.len(),
+            );
+            println!(
+                "  {} events, {} responses, recomputed digest {:#018x}",
+                outcome.summary.events, outcome.summary.responses, outcome.summary.response_digest
+            );
+            println!("  state-digest={:#018x}", outcome.state_digest);
             ExitCode::SUCCESS
         }
         other => usage_exit(&format!("unknown subcommand {other:?}")),

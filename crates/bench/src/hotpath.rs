@@ -16,9 +16,11 @@
 //! the CI bench-smoke step fails when the sets drift apart (renaming a
 //! bench without re-recording the file, or recording stale names).
 
-use criterion::Criterion;
+use criterion::{black_box, Criterion};
+use impact_attacks::side_channel::{SideChannelAttack, SideChannelConfig};
 use impact_core::config::SystemConfig;
 use impact_core::engine::{MemRequest, MemoryBackend};
+use impact_core::snapshot::Snapshot;
 use impact_core::time::Cycles;
 use impact_memctrl::{MemoryController, ShardedController};
 use impact_sim::System;
@@ -160,10 +162,40 @@ pub fn register_system(c: &mut Criterion) {
     });
 }
 
+/// The copy-on-write fork payoff at sweep granularity: obtaining a warmed
+/// side-channel engine from scratch (`System::new` + the full
+/// `SideChannelAttack::init` prefix — genome/index synthesis, agent
+/// spawning, the bank row-opening sweep, clock sync) vs forking a parent
+/// that ran the identical prefix once, outside the timed loop. The fork
+/// is O(metadata) — Arc clones of the bank SoA, cache arrays and page
+/// tables — so `side_channel_init_fork` must stay well under a fifth of
+/// `side_channel_init_scratch`.
+pub fn register_snapshot_fork(c: &mut Criterion) {
+    let cfg = SystemConfig::paper_table2_noiseless();
+    let attack = SideChannelAttack::new(SideChannelConfig {
+        reads: 20,
+        ..SideChannelConfig::default()
+    });
+    c.bench_function("attacks/side_channel_init_scratch", |b| {
+        b.iter(|| {
+            let mut sys = System::new(cfg.clone());
+            let init = attack.init(&mut sys).expect("init");
+            black_box((sys, init))
+        });
+    });
+    c.bench_function("attacks/side_channel_init_fork", |b| {
+        let mut parent = System::new(cfg.clone());
+        let init = attack.init(&mut parent).expect("init");
+        b.iter(|| black_box(parent.fork()));
+        black_box(init);
+    });
+}
+
 /// Registers the complete recorded inventory, in the order the committed
 /// `BENCH_hotpath.json` lists it.
 pub fn register_all(c: &mut Criterion) {
     register_memctrl_batch(c);
     register_sharded_parallel(c);
     register_system(c);
+    register_snapshot_fork(c);
 }

@@ -390,6 +390,72 @@ pub fn trace_stats<R: Read>(reader: R) -> Result<(TraceHeader, RequestMix, Trace
     Ok((captured.header, mix, captured.summary))
 }
 
+/// Outcome of [`slice_capture`]: the standalone slice's recomputed footer
+/// plus the slicing backend's final DRAM state digest.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SliceOutcome {
+    /// The slice's footer, recomputed by replaying the window on a fresh
+    /// mono backend (responses are backend-invariant, so the footer
+    /// verifies on every backend).
+    pub summary: TraceSummary,
+    /// DRAM state digest after the slicing replay.
+    pub state_digest: u64,
+}
+
+/// Extracts the event window `[start, start + count)` of a capture into a
+/// standalone, footer-valid trace written to `sink` (`trace_replay
+/// slice`).
+///
+/// The sliced events are copied verbatim (header included); the footer is
+/// *recomputed* by replaying the window on a fresh backend of the
+/// header's configuration, because a window cut out of a longer run
+/// produces different responses when serviced from pristine DRAM state.
+/// The output is therefore a first-class trace: `trace_replay replay`
+/// verifies it on any backend and `diff`/`stats` read it like any
+/// capture — which is what makes slicing useful for shrinking a large
+/// diverging capture down to a small standalone repro.
+///
+/// # Errors
+///
+/// [`Error::TraceFormat`] for an unknown config label or an out-of-range
+/// window; [`Error::TraceConfigMismatch`] when label and fingerprint
+/// disagree; trace-write and backend service errors.
+pub fn slice_capture<W: Write>(
+    captured: &CapturedTrace,
+    start: usize,
+    count: usize,
+    sink: W,
+) -> Result<SliceOutcome> {
+    let total = captured.events.len();
+    let end = start
+        .checked_add(count)
+        .filter(|&e| e <= total)
+        .ok_or_else(|| {
+            Error::TraceFormat(format!(
+                "slice [{start}, {start}+{count}) out of range for {total} events"
+            ))
+        })?;
+    let cfg = config_for_label(&captured.header.label).ok_or_else(|| {
+        Error::TraceFormat(format!("unknown config label {:?}", captured.header.label))
+    })?;
+    captured.header.expect_config(&cfg)?;
+    let window = &captured.events[start..end];
+    let mut backend = BackendKind::Mono.backend(&cfg);
+    let (responses, response_digest) =
+        impact_core::trace::replay_digest(window.iter().cloned().map(Ok), &mut backend)?;
+    let summary = TraceSummary {
+        events: window.len() as u64,
+        responses,
+        response_digest,
+        stats: backend.backend_stats(),
+    };
+    impact_core::trace::write_trace(sink, &captured.header, window, &summary)?;
+    Ok(SliceOutcome {
+        summary,
+        state_digest: backend.dram_state_digest(),
+    })
+}
+
 /// A captured trace as a sweepable [`Scenario`]: x sweeps the replayed
 /// prefix (fraction of events), y reports mean response latency in
 /// cycles/op on a fresh backend per point. Because responses are
@@ -615,6 +681,58 @@ mod tests {
             .unwrap();
             assert!(v.matches(), "{} diverged", kind.name());
         }
+    }
+
+    #[test]
+    fn sliced_window_is_standalone_and_footer_valid() {
+        let (bytes, _) = quick_capture(CaptureKind::Mix, BackendKind::Mono);
+        let captured = CapturedTrace::read_from(&bytes[..]).unwrap();
+        let total = captured.events.len();
+        assert!(total > 10, "capture too small to slice");
+        let (start, count) = (total / 4, total / 2);
+        let sliced = slice_capture(&captured, start, count, Vec::new()).unwrap();
+        assert_eq!(sliced.summary.events, count as u64);
+
+        // Round-trip: the slice decodes, carries the original header, and
+        // holds exactly the window's events.
+        let mut bytes = Vec::new();
+        slice_capture(&captured, start, count, &mut bytes).unwrap();
+        let reread = CapturedTrace::read_from(&bytes[..]).unwrap();
+        assert_eq!(reread.header, captured.header);
+        assert_eq!(reread.events[..], captured.events[start..start + count]);
+        assert_eq!(reread.summary, sliced.summary);
+
+        // Footer-valid: a fresh replay verifies it on multiple backends.
+        for kind in [
+            BackendKind::Mono,
+            BackendKind::Sharded {
+                shards: 4,
+                workers: 1,
+            },
+        ] {
+            let v = replay_file(&bytes[..], kind).unwrap();
+            assert!(v.matches(), "slice diverged on {}", kind.label());
+        }
+
+        // A mid-stream window serviced from pristine state produces
+        // different responses than it did in context — exactly why the
+        // footer is recomputed rather than copied.
+        assert_ne!(
+            sliced.summary.response_digest,
+            captured.summary.response_digest
+        );
+
+        // Degenerate and out-of-range windows.
+        let full = slice_capture(&captured, 0, total, Vec::new()).unwrap();
+        assert_eq!(full.summary, captured.summary);
+        assert!(matches!(
+            slice_capture(&captured, total, 1, Vec::new()),
+            Err(Error::TraceFormat(_))
+        ));
+        assert!(matches!(
+            slice_capture(&captured, 0, total + 1, Vec::new()),
+            Err(Error::TraceFormat(_))
+        ));
     }
 
     #[test]

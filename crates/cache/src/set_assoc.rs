@@ -1,7 +1,14 @@
 //! Set-associative cache with pluggable replacement.
+//!
+//! The tag/metadata array lives behind an `Arc` so snapshots and forks
+//! of a warmed cache are O(1): clones share the array, and the first
+//! access on either side copies it (`Arc::make_mut`).
+
+use std::sync::Arc;
 
 use impact_core::addr::PhysAddr;
 use impact_core::config::{CacheLevelConfig, ReplacementKind};
+use impact_core::snapshot::Snapshot;
 use impact_core::time::Cycles;
 
 /// Maximum re-reference prediction value for 2-bit SRRIP.
@@ -76,7 +83,7 @@ pub struct AccessResult {
 pub struct SetAssocCache {
     cfg: CacheLevelConfig,
     sets: u64,
-    lines: Vec<LineMeta>,
+    lines: Arc<Vec<LineMeta>>,
     tick: u64,
 }
 
@@ -93,9 +100,19 @@ impl SetAssocCache {
         SetAssocCache {
             cfg,
             sets,
-            lines,
+            lines: Arc::new(lines),
             tick: 0,
         }
+    }
+
+    /// The line array for mutation: copies it first if a snapshot or
+    /// fork still shares the storage.
+    #[inline]
+    fn lines_mut(&mut self) -> &mut Vec<LineMeta> {
+        // analyze::allow(cow-aliasing): sole unshare point for the line
+        // array; every mutation funnels through here, so a shared fork
+        // gets its own copy before the first write
+        Arc::make_mut(&mut self.lines)
     }
 
     /// Configuration of this level.
@@ -133,7 +150,7 @@ impl SetAssocCache {
     fn set_slice_mut(&mut self, set: u64) -> &mut [LineMeta] {
         let ways = self.cfg.ways as usize;
         let base = set as usize * ways;
-        &mut self.lines[base..base + ways]
+        &mut self.lines_mut()[base..base + ways]
     }
 
     fn set_slice(&self, set: u64) -> &[LineMeta] {
@@ -188,7 +205,7 @@ impl SetAssocCache {
         } else {
             None
         };
-        self.lines[base + victim_idx] = LineMeta {
+        self.lines_mut()[base + victim_idx] = LineMeta {
             tag,
             valid: true,
             dirty: write,
@@ -243,7 +260,7 @@ impl SetAssocCache {
 
     /// Clears all lines.
     pub fn reset(&mut self) {
-        for l in &mut self.lines {
+        for l in self.lines_mut() {
             *l = LineMeta::empty();
         }
         self.tick = 0;
@@ -275,6 +292,24 @@ impl SetAssocCache {
                 }
             }
         }
+    }
+}
+
+impl Snapshot for SetAssocCache {
+    /// The cache is its own snapshot: clones share the line array `Arc`.
+    type Snap = SetAssocCache;
+
+    fn snapshot(&self) -> SetAssocCache {
+        self.clone()
+    }
+
+    fn restore(&mut self, snap: &SetAssocCache) {
+        self.lines = Arc::clone(&snap.lines);
+        self.tick = snap.tick;
+    }
+
+    fn fork(&self) -> SetAssocCache {
+        self.clone()
     }
 }
 

@@ -28,6 +28,7 @@ pub mod engine;
 pub mod error;
 pub mod hash;
 pub mod rng;
+pub mod snapshot;
 pub mod stats;
 pub mod time;
 pub mod trace;
@@ -37,5 +38,6 @@ pub use config::SystemConfig;
 pub use engine::{BackendStats, MemRequest, MemResponse, MemoryBackend, ReqKind, RowBufferKind};
 pub use error::{Error, Result};
 pub use rng::SimRng;
+pub use snapshot::Snapshot;
 pub use time::{Cycles, Nanos};
 pub use trace::{TraceEvent, TraceHeader, TraceReader, TraceSummary, TraceWriter, TracingBackend};

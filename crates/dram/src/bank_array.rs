@@ -11,23 +11,30 @@
 //! warm row-buffer hit writes `busy_until`, `last_use` and the hit
 //! counter — nothing else).
 //!
-//! The [`Bank`]-shaped accessor API survives as by-value snapshots
-//! ([`BankArray::snapshot`]), and [`BankCursor::fold_state`] keeps the
+//! The [`Bank`]-shaped accessor API survives as by-value views
+//! ([`BankArray::bank_state`]), and [`BankCursor::fold_state`] keeps the
 //! digest layout bit-identical to the array-of-structs representation, so
 //! `dram_state_digest()` and the trace-footer codec are unchanged.
+//!
+//! The columns live behind one `Arc` so the whole array snapshots and
+//! forks in O(1) ([`Snapshot`]): clones share the storage and the first
+//! mutation on either side copies it (`Arc::make_mut`), which is what
+//! makes warmed-engine forks cheap. Uniquely-owned arrays pay only an
+//! atomic refcount check per mutating call.
 
+use std::sync::Arc;
+
+use impact_core::snapshot::Snapshot;
 use impact_core::time::Cycles;
 
 use crate::bank::{AccessOutcome, Bank, BankCursor, BankStats, RowBufferKind};
 use crate::policy::RowPolicy;
 use crate::timing::ResolvedTiming;
 
-/// All banks of a device, one parallel flat array per bank field.
-///
-/// Indexing is by flat bank index; every array has the same length. The
-/// `Option` fields use the [`BankCursor`] sentinel encoding.
+/// The parallel flat arrays, one per bank field; shared copy-on-write
+/// between a [`BankArray`] and its snapshots/forks.
 #[derive(Debug, Clone)]
-pub struct BankArray {
+struct BankColumns {
     open_row: Vec<u64>,
     busy_until: Vec<Cycles>,
     last_use: Vec<Cycles>,
@@ -39,33 +46,54 @@ pub struct BankArray {
     rowclones: Vec<u64>,
 }
 
+/// All banks of a device, one parallel flat array per bank field.
+///
+/// Indexing is by flat bank index; every array has the same length. The
+/// `Option` fields use the [`BankCursor`] sentinel encoding.
+#[derive(Debug, Clone)]
+pub struct BankArray {
+    cols: Arc<BankColumns>,
+}
+
 impl BankArray {
     /// Creates `banks` precharged, idle banks.
     #[must_use]
     pub fn new(banks: usize) -> BankArray {
         BankArray {
-            open_row: vec![BankCursor::NO_ROW; banks],
-            busy_until: vec![Cycles::ZERO; banks],
-            last_use: vec![Cycles::ZERO; banks],
-            last_activator: vec![BankCursor::NO_ACTOR; banks],
-            hits: vec![0; banks],
-            misses: vec![0; banks],
-            conflicts: vec![0; banks],
-            activations: vec![0; banks],
-            rowclones: vec![0; banks],
+            cols: Arc::new(BankColumns {
+                open_row: vec![BankCursor::NO_ROW; banks],
+                busy_until: vec![Cycles::ZERO; banks],
+                last_use: vec![Cycles::ZERO; banks],
+                last_activator: vec![BankCursor::NO_ACTOR; banks],
+                hits: vec![0; banks],
+                misses: vec![0; banks],
+                conflicts: vec![0; banks],
+                activations: vec![0; banks],
+                rowclones: vec![0; banks],
+            }),
         }
+    }
+
+    /// The columns for mutation: copies the storage first if a snapshot
+    /// or fork still shares it.
+    #[inline]
+    fn cols_mut(&mut self) -> &mut BankColumns {
+        // analyze::allow(cow-aliasing): sole accessor-path unshare point
+        // for the SoA columns; writes through it copy shared storage
+        // before touching any bank field
+        Arc::make_mut(&mut self.cols)
     }
 
     /// Number of banks.
     #[must_use]
     pub fn len(&self) -> usize {
-        self.open_row.len()
+        self.cols.open_row.len()
     }
 
     /// Whether the device has no banks.
     #[must_use]
     pub fn is_empty(&self) -> bool {
-        self.open_row.is_empty()
+        self.cols.open_row.is_empty()
     }
 
     /// Loads one bank's complete state into a register-friendly cursor.
@@ -77,10 +105,10 @@ impl BankArray {
     #[must_use]
     pub fn load(&self, bank: usize) -> BankCursor {
         BankCursor {
-            open_row: self.open_row[bank],
-            busy_until: self.busy_until[bank],
-            last_use: self.last_use[bank],
-            last_activator: self.last_activator[bank],
+            open_row: self.cols.open_row[bank],
+            busy_until: self.cols.busy_until[bank],
+            last_use: self.cols.last_use[bank],
+            last_activator: self.cols.last_activator[bank],
             stats: self.stats(bank),
         }
     }
@@ -92,24 +120,25 @@ impl BankArray {
     /// Panics if `bank` is out of range.
     #[inline]
     pub fn store(&mut self, bank: usize, cur: BankCursor) {
-        self.open_row[bank] = cur.open_row;
-        self.busy_until[bank] = cur.busy_until;
-        self.last_use[bank] = cur.last_use;
-        self.last_activator[bank] = cur.last_activator;
-        self.hits[bank] = cur.stats.hits;
-        self.misses[bank] = cur.stats.misses;
-        self.conflicts[bank] = cur.stats.conflicts;
-        self.activations[bank] = cur.stats.activations;
-        self.rowclones[bank] = cur.stats.rowclones;
+        let c = self.cols_mut();
+        c.open_row[bank] = cur.open_row;
+        c.busy_until[bank] = cur.busy_until;
+        c.last_use[bank] = cur.last_use;
+        c.last_activator[bank] = cur.last_activator;
+        c.hits[bank] = cur.stats.hits;
+        c.misses[bank] = cur.stats.misses;
+        c.conflicts[bank] = cur.stats.conflicts;
+        c.activations[bank] = cur.stats.activations;
+        c.rowclones[bank] = cur.stats.rowclones;
     }
 
-    /// By-value snapshot of one bank in the `Option`-typed accessor shape.
+    /// By-value view of one bank in the `Option`-typed accessor shape.
     ///
     /// # Panics
     ///
     /// Panics if `bank` is out of range.
     #[must_use]
-    pub fn snapshot(&self, bank: usize) -> Bank {
+    pub fn bank_state(&self, bank: usize) -> Bank {
         Bank::from_cursor(self.load(bank))
     }
 
@@ -121,11 +150,11 @@ impl BankArray {
     #[must_use]
     pub fn stats(&self, bank: usize) -> BankStats {
         BankStats {
-            hits: self.hits[bank],
-            misses: self.misses[bank],
-            conflicts: self.conflicts[bank],
-            activations: self.activations[bank],
-            rowclones: self.rowclones[bank],
+            hits: self.cols.hits[bank],
+            misses: self.cols.misses[bank],
+            conflicts: self.cols.conflicts[bank],
+            activations: self.cols.activations[bank],
+            rowclones: self.cols.rowclones[bank],
         }
     }
 
@@ -136,7 +165,7 @@ impl BankArray {
     /// Panics if `bank` is out of range.
     #[must_use]
     pub fn busy_until(&self, bank: usize) -> Cycles {
-        self.busy_until[bank]
+        self.cols.busy_until[bank]
     }
 
     /// Folds one bank's state into a running FNV-1a accumulator; the
@@ -154,11 +183,11 @@ impl BankArray {
     #[must_use]
     pub fn total_stats(&self) -> BankStats {
         BankStats {
-            hits: self.hits.iter().sum(),
-            misses: self.misses.iter().sum(),
-            conflicts: self.conflicts.iter().sum(),
-            activations: self.activations.iter().sum(),
-            rowclones: self.rowclones.iter().sum(),
+            hits: self.cols.hits.iter().sum(),
+            misses: self.cols.misses.iter().sum(),
+            conflicts: self.cols.conflicts.iter().sum(),
+            activations: self.cols.activations.iter().sum(),
+            rowclones: self.cols.rowclones.iter().sum(),
         }
     }
 
@@ -192,14 +221,18 @@ impl BankArray {
         timing: &ResolvedTiming,
         policy: RowPolicy,
     ) -> AccessOutcome {
-        let start = now.max(self.busy_until[bank]);
-        let raw_open = self.open_row[bank];
+        // analyze::allow(cow-aliasing): the access hot path unshares the
+        // columns up front — it always writes busy/open state, so the
+        // copy is unavoidable and hoisted out of the per-field updates
+        let c = Arc::make_mut(&mut self.cols);
+        let start = now.max(c.busy_until[bank]);
+        let raw_open = c.open_row[bank];
         let open = match policy {
             RowPolicy::Closed => BankCursor::NO_ROW,
             RowPolicy::Open { idle_timeout } => match idle_timeout {
                 Some(t)
                     if raw_open != BankCursor::NO_ROW
-                        && start.saturating_sub(self.last_use[bank]) > t =>
+                        && start.saturating_sub(c.last_use[bank]) > t =>
                 {
                     BankCursor::NO_ROW
                 }
@@ -207,35 +240,35 @@ impl BankArray {
             },
         };
         let (kind, latency) = if open == row {
-            self.hits[bank] += 1;
+            c.hits[bank] += 1;
             (RowBufferKind::Hit, timing.hit_latency())
         } else if open == BankCursor::NO_ROW {
-            self.misses[bank] += 1;
-            self.activations[bank] += 1;
+            c.misses[bank] += 1;
+            c.activations[bank] += 1;
             (RowBufferKind::Miss, timing.miss_latency())
         } else {
-            self.conflicts[bank] += 1;
-            self.activations[bank] += 1;
+            c.conflicts[bank] += 1;
+            c.activations[bank] += 1;
             (RowBufferKind::Conflict, timing.conflict_latency())
         };
         let completed = start + latency;
-        self.last_use[bank] = completed;
+        c.last_use[bank] = completed;
         match policy {
             RowPolicy::Closed => {
                 if raw_open != BankCursor::NO_ROW {
-                    self.open_row[bank] = BankCursor::NO_ROW;
+                    c.open_row[bank] = BankCursor::NO_ROW;
                 }
-                self.busy_until[bank] = completed + timing.t_rp;
+                c.busy_until[bank] = completed + timing.t_rp;
             }
             RowPolicy::Open { .. } => {
                 if raw_open != row {
-                    self.open_row[bank] = row;
+                    c.open_row[bank] = row;
                 }
-                self.busy_until[bank] = completed;
+                c.busy_until[bank] = completed;
             }
         }
         if kind != RowBufferKind::Hit {
-            self.last_activator[bank] = u64::from(actor);
+            c.last_activator[bank] = u64::from(actor);
         }
         AccessOutcome {
             kind,
@@ -280,6 +313,23 @@ impl BankArray {
     }
 }
 
+impl Snapshot for BankArray {
+    /// The array is its own snapshot: clones share the columns `Arc`.
+    type Snap = BankArray;
+
+    fn snapshot(&self) -> BankArray {
+        self.clone()
+    }
+
+    fn restore(&mut self, snap: &BankArray) {
+        self.cols = Arc::clone(&snap.cols);
+    }
+
+    fn fork(&self) -> BankArray {
+        self.clone()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -318,7 +368,7 @@ mod tests {
         let d = vecs[2].rowclone(7, 8, Cycles(5000), 1, &t, p, 512, 128);
         assert_eq!(c, d);
         for (bank, vec_bank) in vecs.iter().enumerate() {
-            assert_eq!(arr.snapshot(bank).cursor(), vec_bank.cursor());
+            assert_eq!(arr.bank_state(bank).cursor(), vec_bank.cursor());
             assert_eq!(
                 arr.fold_state(bank, FNV_OFFSET),
                 vec_bank.fold_state(FNV_OFFSET),
@@ -375,10 +425,37 @@ mod tests {
         let mut other = BankArray::new(2);
         other.store(1, cur);
         assert_eq!(other.load(1), cur);
-        assert_eq!(other.snapshot(1).raw_open_row(), Some(42));
+        assert_eq!(other.bank_state(1).raw_open_row(), Some(42));
         assert_eq!(other.busy_until(1), cur.busy_until);
         // Bank 0 untouched in both.
         assert_eq!(other.load(0), BankCursor::new());
+    }
+
+    /// Snapshot/fork share storage until written: a child's writes never
+    /// reach the parent, restore rewinds exactly to the captured state.
+    #[test]
+    fn cow_fork_isolates_and_restore_rewinds() {
+        let t = timing();
+        let p = RowPolicy::open_page();
+        let mut parent = BankArray::new(4);
+        parent.access(0, 5, Cycles(0), 1, &t, p);
+        let snap = Snapshot::snapshot(&parent);
+        let parent_digest = parent.fold_state(0, FNV_OFFSET);
+
+        let mut child = parent.fork();
+        child.access(0, 9, Cycles(100), 2, &t, p);
+        child.access(1, 3, Cycles(100), 2, &t, p);
+        assert_eq!(
+            parent.fold_state(0, FNV_OFFSET),
+            parent_digest,
+            "child write leaked into parent"
+        );
+        assert_ne!(child.fold_state(0, FNV_OFFSET), parent_digest);
+
+        parent.access(0, 7, Cycles(200), 1, &t, p);
+        parent.restore(&snap);
+        assert_eq!(parent.fold_state(0, FNV_OFFSET), parent_digest);
+        assert_eq!(parent.total_stats(), snap.total_stats());
     }
 
     #[test]

@@ -1,6 +1,7 @@
 //! Whole-device DRAM model: a collection of independently timed banks.
 
 use impact_core::config::{DramGeometry, SystemConfig};
+use impact_core::snapshot::Snapshot;
 use impact_core::time::Cycles;
 
 use crate::bank::{AccessOutcome, Bank, BankCursor, BankStats, RowBufferKind};
@@ -152,7 +153,7 @@ impl DramDevice {
     /// Panics if `bank` is out of range.
     #[must_use]
     pub fn bank(&self, bank: usize) -> Bank {
-        self.banks.snapshot(self.slot(bank))
+        self.banks.bank_state(self.slot(bank))
     }
 
     /// The structure-of-arrays bank storage (read side).
@@ -281,6 +282,36 @@ impl DramDevice {
     /// Resets every bank (state and statistics).
     pub fn reset(&mut self) {
         self.banks.reset();
+    }
+}
+
+/// Captured [`DramDevice`] state: the mutable parts only (bank array
+/// shared copy-on-write, plus the row policy defenses may switch).
+/// Geometry, timing and the bank view are construction-time constants.
+#[derive(Debug, Clone)]
+pub struct DramSnap {
+    policy: RowPolicy,
+    banks: BankArray,
+}
+
+impl Snapshot for DramDevice {
+    type Snap = DramSnap;
+
+    fn snapshot(&self) -> DramSnap {
+        DramSnap {
+            policy: self.policy,
+            banks: self.banks.snapshot(),
+        }
+    }
+
+    fn restore(&mut self, snap: &DramSnap) {
+        self.policy = snap.policy;
+        self.banks.restore(&snap.banks);
+    }
+
+    fn fork(&self) -> DramDevice {
+        // All fields are either `Copy` config or the CoW bank array.
+        self.clone()
     }
 }
 

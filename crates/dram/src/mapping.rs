@@ -56,6 +56,11 @@ pub trait AddressMapping: Send + Sync {
 
     /// The geometry this mapping was built for.
     fn geometry(&self) -> &DramGeometry;
+
+    /// Clones the mapping behind a fresh box. Mappings are pure, so the
+    /// clone is interchangeable with the original; forking a controller
+    /// duplicates its mapping through this hook.
+    fn clone_box(&self) -> Box<dyn AddressMapping>;
 }
 
 /// Precomputed shift/mask split for power-of-two geometries: replaces the
@@ -183,6 +188,10 @@ impl AddressMapping for RowInterleaved {
     fn geometry(&self) -> &DramGeometry {
         &self.geometry
     }
+
+    fn clone_box(&self) -> Box<dyn AddressMapping> {
+        Box::new(self.clone())
+    }
 }
 
 /// Row-interleaved mapping with the bank index XOR-hashed against low row
@@ -288,6 +297,10 @@ impl AddressMapping for BankInterleavedXor {
 
     fn geometry(&self) -> &DramGeometry {
         &self.geometry
+    }
+
+    fn clone_box(&self) -> Box<dyn AddressMapping> {
+        Box::new(self.clone())
     }
 }
 

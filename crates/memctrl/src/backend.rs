@@ -8,13 +8,30 @@
 use impact_core::addr::PhysAddr;
 use impact_core::engine::{BackendStats, MemRequest, MemResponse, MemoryBackend};
 use impact_core::error::Result;
+use impact_core::snapshot::Snapshot;
 use impact_core::time::Cycles;
-use impact_core::trace::TracingBackend;
+use impact_core::trace::{TraceSnap, TracingBackend};
 use impact_dram::{BankStats, RowPolicy};
 
-use crate::controller::{MemoryController, PeriodicBlock};
+use crate::controller::{CtrlSnap, MemoryController, PeriodicBlock};
 use crate::defense::Defense;
-use crate::sharded::ShardedController;
+use crate::sharded::{ShardedController, ShardedSnap};
+
+/// Type-erased backend snapshot: the object-safe currency of
+/// [`ControllerBackend::state_snapshot`] /
+/// [`ControllerBackend::state_restore`], so `Box<dyn ControllerBackend>`
+/// (the runtime-selected backend every experiment runs on) snapshots and
+/// forks exactly like a statically-typed backend. The `Traced` variant
+/// nests recursively: a tracing proxy wraps its inner backend's snapshot.
+#[derive(Debug, Clone)]
+pub enum BackendSnap {
+    /// Snapshot of a monolithic [`MemoryController`].
+    Mono(CtrlSnap),
+    /// Snapshot of a [`ShardedController`].
+    Sharded(ShardedSnap),
+    /// Snapshot of a [`TracingBackend`] around any controller backend.
+    Traced(Box<TraceSnap<BackendSnap>>),
+}
 
 impl MemoryBackend for MemoryController {
     fn service(&mut self, req: &MemRequest) -> Result<MemResponse> {
@@ -108,6 +125,21 @@ pub trait ControllerBackend: MemoryBackend {
     /// in bit-identical DRAM states iff their digests match; this is the
     /// check `trace_replay` runs after re-servicing a recorded trace.
     fn dram_state_digest(&self) -> u64;
+
+    /// Object-safe [`Snapshot::snapshot`]: captures the backend's
+    /// observable state as a type-erased [`BackendSnap`].
+    fn state_snapshot(&self) -> BackendSnap;
+
+    /// Object-safe [`Snapshot::restore`]: rewinds the backend to `snap`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `snap` came from a different backend kind or topology.
+    fn state_restore(&mut self, snap: &BackendSnap);
+
+    /// Object-safe [`Snapshot::fork`]: a copy-on-write duplicate behind a
+    /// fresh box, sharing bulk state with `self` until either side writes.
+    fn fork_boxed(&self) -> Box<dyn ControllerBackend>;
 }
 
 impl ControllerBackend for MemoryController {
@@ -137,6 +169,21 @@ impl ControllerBackend for MemoryController {
             hash = self.dram().fold_bank_state(bank, hash);
         }
         hash
+    }
+
+    fn state_snapshot(&self) -> BackendSnap {
+        BackendSnap::Mono(self.snapshot())
+    }
+
+    fn state_restore(&mut self, snap: &BackendSnap) {
+        match snap {
+            BackendSnap::Mono(s) => self.restore(s),
+            _ => panic!("backend snapshot kind mismatch: expected Mono"),
+        }
+    }
+
+    fn fork_boxed(&self) -> Box<dyn ControllerBackend> {
+        Box::new(Snapshot::fork(self))
     }
 }
 
@@ -170,6 +217,21 @@ impl ControllerBackend for ShardedController {
         }
         hash
     }
+
+    fn state_snapshot(&self) -> BackendSnap {
+        BackendSnap::Sharded(self.snapshot())
+    }
+
+    fn state_restore(&mut self, snap: &BackendSnap) {
+        match snap {
+            BackendSnap::Sharded(s) => self.restore(s),
+            _ => panic!("backend snapshot kind mismatch: expected Sharded"),
+        }
+    }
+
+    fn fork_boxed(&self) -> Box<dyn ControllerBackend> {
+        Box::new(Snapshot::fork(self))
+    }
 }
 
 impl<B: ControllerBackend> ControllerBackend for TracingBackend<B> {
@@ -196,6 +258,27 @@ impl<B: ControllerBackend> ControllerBackend for TracingBackend<B> {
     fn dram_state_digest(&self) -> u64 {
         self.inner().dram_state_digest()
     }
+
+    fn state_snapshot(&self) -> BackendSnap {
+        BackendSnap::Traced(Box::new(self.snap_with(self.inner().state_snapshot())))
+    }
+
+    fn state_restore(&mut self, snap: &BackendSnap) {
+        match snap {
+            BackendSnap::Traced(t) => {
+                let inner_snap = self.rewind_with(t);
+                self.inner_mut().state_restore(inner_snap);
+            }
+            _ => panic!("backend snapshot kind mismatch: expected Traced"),
+        }
+    }
+
+    fn fork_boxed(&self) -> Box<dyn ControllerBackend> {
+        // The fork's inner backend is type-erased, so the forked proxy is
+        // a `TracingBackend<Box<dyn ControllerBackend>>` — observationally
+        // identical to the original.
+        Box::new(self.fork_with(self.inner().fork_boxed()))
+    }
 }
 
 impl<B: ControllerBackend + ?Sized> ControllerBackend for Box<B> {
@@ -221,6 +304,38 @@ impl<B: ControllerBackend + ?Sized> ControllerBackend for Box<B> {
 
     fn dram_state_digest(&self) -> u64 {
         (**self).dram_state_digest()
+    }
+
+    fn state_snapshot(&self) -> BackendSnap {
+        (**self).state_snapshot()
+    }
+
+    fn state_restore(&mut self, snap: &BackendSnap) {
+        (**self).state_restore(snap);
+    }
+
+    fn fork_boxed(&self) -> Box<dyn ControllerBackend> {
+        (**self).fork_boxed()
+    }
+}
+
+/// `Box<dyn ControllerBackend>` — the runtime-selected backend every
+/// experiment runs on — snapshots through the object-safe hooks, so
+/// `Engine<Box<dyn ControllerBackend>>` forks like any statically-typed
+/// engine.
+impl Snapshot for Box<dyn ControllerBackend> {
+    type Snap = BackendSnap;
+
+    fn snapshot(&self) -> BackendSnap {
+        (**self).state_snapshot()
+    }
+
+    fn restore(&mut self, snap: &BackendSnap) {
+        (**self).state_restore(snap);
+    }
+
+    fn fork(&self) -> Box<dyn ControllerBackend> {
+        (**self).fork_boxed()
     }
 }
 

@@ -31,7 +31,9 @@ pub mod controller;
 pub mod defense;
 pub mod sharded;
 
-pub use backend::ControllerBackend;
-pub use controller::{CtrlStats, MemAccess, MemoryController, PeriodicBlock, RowCloneOutcome};
+pub use backend::{BackendSnap, ControllerBackend};
+pub use controller::{
+    CtrlSnap, CtrlStats, MemAccess, MemoryController, PeriodicBlock, RowCloneOutcome,
+};
 pub use defense::{ActConfig, Defense, MprPartition};
-pub use sharded::ShardedController;
+pub use sharded::{ShardedController, ShardedSnap};

@@ -75,18 +75,35 @@ use impact_core::addr::PhysAddr;
 use impact_core::config::SystemConfig;
 use impact_core::engine::{BackendStats, MemRequest, MemResponse, MemoryBackend, ReqKind};
 use impact_core::error::{Error, Result};
+use impact_core::snapshot::Snapshot;
 use impact_core::time::Cycles;
 use impact_dram::{BankStats, RowPolicy};
 
-use crate::controller::{MemoryController, PeriodicBlock};
+use crate::controller::{CtrlSnap, MemoryController, PeriodicBlock};
 use crate::defense::Defense;
 
 /// Default adaptive threshold: batches with fewer requests than this are
-/// serviced sequentially even when a worker pool is configured. Chosen so
-/// the quick experiment suite (bursts of at most a few hundred requests)
-/// never pays dispatch overhead, while the production-scale init sweeps
-/// (4096–8192 banks, one request per bank) always parallelize.
-pub const DEFAULT_PARALLEL_THRESHOLD: usize = 512;
+/// serviced sequentially even when a worker pool is configured.
+///
+/// Dispatch costs real work per batch — bucket index lists, per-shard
+/// request/location copies, two channel hops per populated shard — so the
+/// pool only pays off once a batch is large enough to amortize it *and*
+/// spare cores actually run the buckets concurrently. 4096 keeps the quick
+/// experiment suite (bursts of at most a few hundred requests) and
+/// mid-size batches sequential, engaging the pool only for the
+/// production-scale init sweeps (4096–8192 banks, one request per bank)
+/// where per-shard buckets are big enough to amortize the copies.
+///
+/// **Single-core caveat**: on a 1-vCPU host the workers time-slice one
+/// core, so the parallel path loses at *every* batch size — the
+/// `BENCH_hotpath.json` record on such a box shows
+/// `sharded_parallel_vs_mono_8192` ≈ 416 µs against
+/// `sharded_seq_batch_8192` ≈ 171 µs. No threshold can detect core
+/// starvation; pin `workers = 1` (or leave the default) on single-core
+/// hosts. The threshold only gates *when* the pool engages, never *what*
+/// it computes — both paths are bit-identical — so tuning it is always
+/// safe ([`ShardedController::set_parallel_threshold`]).
+pub const DEFAULT_PARALLEL_THRESHOLD: usize = 4096;
 
 /// One shard's slice of a batch: positions in the original batch, the
 /// requests themselves, and their pre-computed `(flat bank, row)` pairs.
@@ -501,6 +518,51 @@ impl ShardedController {
         out.into_iter()
             .map(|r| r.expect("request served"))
             .collect()
+    }
+}
+
+/// Snapshot of a [`ShardedController`]: one [`CtrlSnap`] per shard plus
+/// the composite-level counters. The worker-pool configuration is carried
+/// by forks but the pool itself (live threads) is not — a fork respawns
+/// its pool lazily on the first parallel batch.
+#[derive(Debug, Clone)]
+pub struct ShardedSnap {
+    subs: Vec<CtrlSnap>,
+    local: BackendStats,
+}
+
+impl Snapshot for ShardedController {
+    type Snap = ShardedSnap;
+
+    fn snapshot(&self) -> ShardedSnap {
+        ShardedSnap {
+            subs: self.subs.iter().map(Snapshot::snapshot).collect(),
+            local: self.local.clone(),
+        }
+    }
+
+    fn restore(&mut self, snap: &ShardedSnap) {
+        assert_eq!(
+            self.subs.len(),
+            snap.subs.len(),
+            "sharded snapshot topology mismatch"
+        );
+        for (sub, s) in self.subs.iter_mut().zip(&snap.subs) {
+            sub.restore(s);
+        }
+        self.local = snap.local.clone();
+    }
+
+    fn fork(&self) -> ShardedController {
+        ShardedController {
+            subs: self.subs.iter().map(Snapshot::fork).collect(),
+            local: self.local.clone(),
+            workers: self.workers,
+            parallel_threshold: self.parallel_threshold,
+            // Threads are not forkable; `service_buckets_parallel`
+            // respawns a pool sized to `workers` on first use.
+            pool: None,
+        }
     }
 }
 

@@ -12,6 +12,7 @@ use impact_core::addr::{PhysAddr, VirtAddr, PAGE_SIZE};
 use impact_core::config::SystemConfig;
 use impact_core::engine::{MemRequest, MemoryBackend};
 use impact_core::error::Result;
+use impact_core::snapshot::Snapshot;
 use impact_core::time::Cycles;
 use impact_dram::RowBufferKind;
 use impact_pim::pei::{ExecSite, PeiEngine};
@@ -844,6 +845,112 @@ impl<B: MemoryBackend> Engine<B> {
             {
                 let _ = self.caches.load(r.addr);
             }
+        }
+    }
+}
+
+/// A point-in-time image of an entire [`Engine`], generic over the
+/// backend's own snapshot type `S` (`B::Snap` for the engine's backend
+/// `B`).
+///
+/// Every field of [`Engine`] is represented here: the bulk state (bank
+/// columns, cache tag arrays, page-table radixes, controller ACT/blocking
+/// tables) is shared with the live engine through `Arc`s inside the cloned
+/// components, so capturing — and holding — a snapshot is O(metadata), not
+/// O(state). The CI `impact-analyze` invariant pass checks this struct and
+/// [`Engine::snapshot`] stay in sync with the `Engine` field list.
+#[derive(Debug, Clone)]
+pub struct EngineSnapshot<S> {
+    cfg: SystemConfig,
+    params: SimParams,
+    caches: CacheHierarchy,
+    backend: S,
+    pei: PeiEngine,
+    rc: RowCloneEngine,
+    noise: NoiseInjector,
+    ip_prefetcher: IpStridePrefetcher,
+    streamer: StreamerPrefetcher,
+    prefetchers_enabled: bool,
+    clocks: Vec<Cycles>,
+    tlbs: Vec<Tlb>,
+    page_tables: Vec<PageTable>,
+    alloc: FrameAllocator,
+}
+
+impl<S> EngineSnapshot<S> {
+    /// The configuration the snapshotted engine was built with.
+    #[must_use]
+    pub fn config(&self) -> &SystemConfig {
+        &self.cfg
+    }
+
+    /// The backend component of the snapshot.
+    #[must_use]
+    pub fn backend(&self) -> &S {
+        &self.backend
+    }
+}
+
+/// Whole-system snapshots: every layer above memory (caches, TLBs, page
+/// tables, clocks, prefetchers, noise RNG, PMU monitor) plus the backend's
+/// own snapshot. `fork` is the sweep-runner primitive: warm one engine
+/// through the expensive common prefix, then fork a cheap copy-on-write
+/// child per sweep point.
+impl<B: MemoryBackend + Snapshot> Snapshot for Engine<B> {
+    type Snap = EngineSnapshot<B::Snap>;
+
+    fn snapshot(&self) -> EngineSnapshot<B::Snap> {
+        EngineSnapshot {
+            cfg: self.cfg.clone(),
+            params: self.params,
+            caches: self.caches.snapshot(),
+            backend: self.backend.snapshot(),
+            pei: self.pei.clone(),
+            rc: self.rc,
+            noise: self.noise.clone(),
+            ip_prefetcher: self.ip_prefetcher.clone(),
+            streamer: self.streamer.clone(),
+            prefetchers_enabled: self.prefetchers_enabled,
+            clocks: self.clocks.clone(),
+            tlbs: self.tlbs.clone(),
+            page_tables: self.page_tables.clone(),
+            alloc: self.alloc.clone(),
+        }
+    }
+
+    fn restore(&mut self, snap: &EngineSnapshot<B::Snap>) {
+        self.cfg = snap.cfg.clone();
+        self.params = snap.params;
+        self.caches.restore(&snap.caches);
+        self.backend.restore(&snap.backend);
+        self.pei = snap.pei.clone();
+        self.rc = snap.rc;
+        self.noise = snap.noise.clone();
+        self.ip_prefetcher = snap.ip_prefetcher.clone();
+        self.streamer = snap.streamer.clone();
+        self.prefetchers_enabled = snap.prefetchers_enabled;
+        self.clocks = snap.clocks.clone();
+        self.tlbs = snap.tlbs.clone();
+        self.page_tables = snap.page_tables.clone();
+        self.alloc = snap.alloc.clone();
+    }
+
+    fn fork(&self) -> Engine<B> {
+        Engine {
+            cfg: self.cfg.clone(),
+            params: self.params,
+            caches: self.caches.fork(),
+            backend: self.backend.fork(),
+            pei: self.pei.clone(),
+            rc: self.rc,
+            noise: self.noise.clone(),
+            ip_prefetcher: self.ip_prefetcher.clone(),
+            streamer: self.streamer.clone(),
+            prefetchers_enabled: self.prefetchers_enabled,
+            clocks: self.clocks.clone(),
+            tlbs: self.tlbs.clone(),
+            page_tables: self.page_tables.clone(),
+            alloc: self.alloc.clone(),
         }
     }
 }

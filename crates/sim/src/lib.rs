@@ -47,7 +47,9 @@ pub mod sync;
 pub mod system;
 pub mod tlb;
 
-pub use engine::{AgentId, Engine, LoadInfo, PimInfo, ProbeSample, RowCloneInfo, SimParams};
+pub use engine::{
+    AgentId, Engine, EngineSnapshot, LoadInfo, PimInfo, ProbeSample, RowCloneInfo, SimParams,
+};
 pub use memory::{FrameAllocator, PageTable};
 pub use noise::NoiseInjector;
 pub use sync::{CoBarrier, CoSemaphore};

@@ -12,6 +12,8 @@
 //!   spanning every bank once per "rotation" (the PuM source/destination
 //!   range layout).
 
+use std::sync::Arc;
+
 use impact_core::addr::{PhysAddr, VirtAddr, PAGE_SIZE};
 use impact_core::config::DramGeometry;
 use impact_core::error::{Error, Result};
@@ -28,9 +30,16 @@ const PT_LEAF_LEN: usize = 1 << PT_LEAF_BITS;
 /// of *every* simulated memory operation, and the radix walk is two
 /// bounds-checked array reads with no hashing. Leaves hold `pfn + 1`, with
 /// `0` marking an unmapped slot, so a leaf is a dense `u64` array.
+///
+/// The radix sits behind an `Arc` so cloning a page table — the unit of
+/// work in an engine snapshot or fork — shares the mapping until either
+/// side maps a new page. `translate` reads through the `Arc` unchanged;
+/// only `map_page` pays the copy, and only while the radix is shared.
+// analyze::allow(cow-aliasing): snapshot/fork sharing; every mutation goes
+// through Arc::make_mut.
 #[derive(Debug, Default, Clone)]
 pub struct PageTable {
-    leaves: Vec<Option<Box<[u64; PT_LEAF_LEN]>>>,
+    leaves: Arc<Vec<Option<Box<[u64; PT_LEAF_LEN]>>>>,
     mapped: usize,
     next_vpn: u64,
 }
@@ -40,7 +49,7 @@ impl PageTable {
     #[must_use]
     pub fn new() -> PageTable {
         PageTable {
-            leaves: Vec::new(),
+            leaves: Arc::new(Vec::new()),
             mapped: 0,
             next_vpn: 0x100, // skip the null region
         }
@@ -50,10 +59,14 @@ impl PageTable {
     pub fn map_page(&mut self, vpn: u64, pfn: u64) {
         let hi = (vpn >> PT_LEAF_BITS) as usize;
         let lo = (vpn & (PT_LEAF_LEN as u64 - 1)) as usize;
-        if hi >= self.leaves.len() {
-            self.leaves.resize_with(hi + 1, || None);
+        // analyze::allow(cow-aliasing): map_page is the only writer of
+        // the radix leaves; a fork sharing them gets its own copy before
+        // any new mapping lands
+        let leaves = Arc::make_mut(&mut self.leaves);
+        if hi >= leaves.len() {
+            leaves.resize_with(hi + 1, || None);
         }
-        let leaf = self.leaves[hi].get_or_insert_with(|| Box::new([0; PT_LEAF_LEN]));
+        let leaf = leaves[hi].get_or_insert_with(|| Box::new([0; PT_LEAF_LEN]));
         if leaf[lo] == 0 {
             self.mapped += 1;
         }

@@ -228,10 +228,12 @@ fn side_channel_is_backend_invariant() {
         let r = attack().run(&mut sys).unwrap();
         assert_eq!(digest(&r), mono, "{shards} shards diverged");
     }
-    // With pool workers, the attack's 1024-bank init sweep crosses the
-    // default parallel threshold: same report, and the scheduling
-    // counters prove the pool actually serviced it.
+    // With pool workers and the threshold lowered beneath the attack's
+    // 1024-bank init sweep (the recalibrated default of 4096 would keep
+    // it sequential): same report, and the scheduling counters prove the
+    // pool actually serviced it.
     let mut sys = ShardedSystem::sharded_parallel(cfg(), 8, 4);
+    sys.backend_mut().set_parallel_threshold(512);
     let r = attack().run(&mut sys).unwrap();
     assert_eq!(digest(&r), mono, "parallel shards diverged");
     assert!(

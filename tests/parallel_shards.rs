@@ -169,7 +169,7 @@ fn default_threshold_engages_through_backend_kind() {
     let mut mono = BackendKind::Mono.backend(&cfg());
     let probe = MemoryController::from_config(&cfg());
 
-    // 64 requests: below DEFAULT_PARALLEL_THRESHOLD (512) → sequential.
+    // 64 requests: below DEFAULT_PARALLEL_THRESHOLD (4096) → sequential.
     let small: Vec<MemRequest> = stream(&probe, 200, 5)
         .into_iter()
         .filter(|r| !matches!(r.kind, ReqKind::RowClone { .. }))
@@ -182,8 +182,8 @@ fn default_threshold_engages_through_backend_kind() {
     assert_eq!(backend.backend_stats().parallel_batches, 0);
     assert_eq!(backend.backend_stats().sequential_fallbacks, 1);
 
-    // 512 requests over many banks → parallel.
-    let big: Vec<MemRequest> = (0..512u64)
+    // 4096 requests over many banks → parallel.
+    let big: Vec<MemRequest> = (0..4096u64)
         .map(|i| {
             let addr = probe.mapping().compose((i % 16) as usize, (i / 16) % 32, 0);
             MemRequest::load(addr, Cycles(100_000 + i * 500), 0)
@@ -257,7 +257,7 @@ impl std::io::Write for SharedBuf {
 /// on the pool.
 #[test]
 fn mono_recorded_trace_replays_digest_clean_on_parallel_shards() {
-    let banks = 1024u32;
+    let banks = 4096u32;
     let cfg = SystemConfig::paper_table2_noiseless().with_total_banks(banks);
     let label = format!("paper_table2_noiseless+banks:{banks}");
 
@@ -272,7 +272,7 @@ fn mono_recorded_trace_replays_digest_clean_on_parallel_shards() {
         sys.warm_tlb(a, va, 2);
         vas.push(va);
     }
-    // One init-sweep-sized burst (a single 1024-request Batch event) plus
+    // One init-sweep-sized burst (a single 4096-request Batch event) plus
     // scalar traffic and a masked RowClone, so the replay crosses the
     // parallel, sequential and fallback paths.
     sys.pim_open_burst(a, &vas).unwrap();

@@ -1,0 +1,247 @@
+//! The snapshot/fork equivalence layer: proof that copy-on-write engine
+//! forks are *observationally free*.
+//!
+//! A fork shares its bulk state (bank SoA columns, cache tag arrays,
+//! radix page-table leaves, ACT bookkeeping) with its parent behind
+//! `Arc`s, and every mutation goes through `Arc::make_mut`. This suite
+//! pins the two properties the `--fork-sweeps` machinery relies on:
+//!
+//! * **fidelity** — a fork that resumes a request stream is bit-for-bit
+//!   equal to a from-scratch run of the whole stream (responses, merged
+//!   `BackendStats`, DRAM totals and state digest), across the defense
+//!   matrix {open, CTD, ACT, RFM} × backends {mono, sharded:N,
+//!   sharded:N:W}, through fork-of-fork chains, and at the whole-`Engine`
+//!   level (caches, TLBs, page tables, clocks, allocator included);
+//! * **isolation** — writes on a fork never reach the parent (and vice
+//!   versa), and `restore` rewinds a mutated engine to its snapshot
+//!   bit-exactly.
+
+use proptest::prelude::*;
+
+use impact::core::addr::PhysAddr;
+use impact::core::config::SystemConfig;
+use impact::core::engine::MemRequest;
+use impact::core::rng::SimRng;
+use impact::core::snapshot::Snapshot;
+use impact::core::time::Cycles;
+use impact::memctrl::{
+    ActConfig, ControllerBackend, Defense, MemoryController, PeriodicBlock, ShardedController,
+};
+use impact::sim::{AgentId, System};
+
+fn cfg() -> SystemConfig {
+    SystemConfig::paper_table2()
+}
+
+/// A mixed valid request stream: loads/stores/PiM over 16 banks plus
+/// masked RowClones whose lanes straddle shard boundaries.
+fn stream(n: u64, seed: u64) -> Vec<MemRequest> {
+    let mc = MemoryController::from_config(&cfg());
+    let row_bytes = mc.dram().geometry().row_bytes;
+    let mut rng = SimRng::seed(seed);
+    let mut at = Cycles(0);
+    (0..n)
+        .map(|i| {
+            let req = if i % 9 == 8 {
+                let src = PhysAddr(64 * 16 * row_bytes * (1 + rng.below(3)));
+                let dst = PhysAddr(src.0 + 32 * 16 * row_bytes);
+                MemRequest::rowclone(src, dst, rng.below(u64::from(u16::MAX)).max(1), at, 0)
+            } else {
+                let addr = mc.mapping().compose(
+                    rng.below(16) as usize,
+                    rng.below(24),
+                    (rng.below(4) * 64) as u32,
+                );
+                let actor = rng.below(3) as u32;
+                match i % 3 {
+                    0 => MemRequest::store(addr, at, actor),
+                    1 => MemRequest::pim(addr, at, actor),
+                    _ => MemRequest::load(addr, at, actor),
+                }
+            };
+            at += Cycles(rng.below(900));
+            req
+        })
+        .collect()
+}
+
+/// One backend of the swept matrix, boxed for uniform handling.
+fn make_backend(sel: usize, shards: usize, workers: usize) -> Box<dyn ControllerBackend> {
+    match sel {
+        0 => Box::new(MemoryController::from_config(&cfg())),
+        1 => Box::new(ShardedController::from_config(&cfg(), shards)),
+        _ => {
+            let mut sc = ShardedController::from_config_parallel(&cfg(), shards, workers);
+            sc.set_parallel_threshold(8); // small batches still dispatch
+            Box::new(sc)
+        }
+    }
+}
+
+/// Applies one entry of the swept defense matrix.
+fn apply_defense(backend: &mut dyn ControllerBackend, sel: usize) {
+    match sel {
+        0 => {}
+        1 => backend.set_defense(Defense::Ctd),
+        2 => backend.set_defense(Defense::Act(ActConfig::aggressive())),
+        _ => backend.set_periodic_block(Some(PeriodicBlock::rfm_paper_default())),
+    }
+}
+
+proptest! {
+    /// The central property: service a prefix, fork, service the suffix
+    /// on the fork — bit-identical to one uninterrupted from-scratch run,
+    /// while the parent stays frozen at the fork point and can service
+    /// the same suffix itself, unaffected by the fork's writes.
+    #[test]
+    fn fork_equals_scratch(
+        seed in 0u64..100_000,
+        defense_sel in 0usize..4,
+        backend_sel in 0usize..3,
+        shards in 1usize..9,
+        workers in 1usize..5,
+        split_pct in 0usize..101,
+    ) {
+        let reqs = stream(72, seed);
+        let split = reqs.len() * split_pct / 100;
+
+        let mut scratch = make_backend(backend_sel, shards, workers);
+        let mut parent = make_backend(backend_sel, shards, workers);
+        apply_defense(scratch.as_mut(), defense_sel);
+        apply_defense(parent.as_mut(), defense_sel);
+
+        scratch.service_batch(&reqs[..split]).expect("valid stream");
+        let want = scratch.service_batch(&reqs[split..]).expect("valid stream");
+
+        parent.service_batch(&reqs[..split]).expect("valid stream");
+        let at_fork = parent.dram_state_digest();
+        let mut fork = parent.fork();
+        let got = fork.service_batch(&reqs[split..]).expect("valid stream");
+
+        prop_assert_eq!(&want, &got, "forked responses diverged");
+        prop_assert_eq!(scratch.backend_stats(), fork.backend_stats());
+        prop_assert_eq!(scratch.dram_totals(), fork.dram_totals());
+        prop_assert_eq!(scratch.dram_state_digest(), fork.dram_state_digest());
+
+        // Isolation: the fork's writes never reached the parent, which
+        // can service the suffix itself with identical results.
+        prop_assert_eq!(parent.dram_state_digest(), at_fork, "fork mutated parent");
+        let parent_got = parent.service_batch(&reqs[split..]).expect("valid stream");
+        prop_assert_eq!(got, parent_got);
+        prop_assert_eq!(parent.dram_state_digest(), fork.dram_state_digest());
+    }
+
+    /// `snapshot`/`restore` rewinds a mutated backend to the capture
+    /// point bit-exactly: re-serving the suffix reproduces the first
+    /// pass, and restoring is idempotent over repeated rewinds.
+    #[test]
+    fn snapshot_restore_rewinds(
+        seed in 0u64..100_000,
+        defense_sel in 0usize..4,
+        backend_sel in 0usize..3,
+        split_pct in 0usize..101,
+    ) {
+        let reqs = stream(54, seed);
+        let split = reqs.len() * split_pct / 100;
+
+        let mut backend = make_backend(backend_sel, 4, 2);
+        apply_defense(backend.as_mut(), defense_sel);
+        backend.service_batch(&reqs[..split]).expect("valid stream");
+        let snap = backend.snapshot();
+        let at_snap = backend.dram_state_digest();
+
+        let first = backend.service_batch(&reqs[split..]).expect("valid stream");
+        let end_digest = backend.dram_state_digest();
+        let end_stats = backend.backend_stats();
+
+        for _ in 0..2 {
+            backend.restore(&snap);
+            prop_assert_eq!(backend.dram_state_digest(), at_snap, "restore missed state");
+            let again = backend.service_batch(&reqs[split..]).expect("valid stream");
+            prop_assert_eq!(&first, &again, "rewound replay diverged");
+            prop_assert_eq!(backend.dram_state_digest(), end_digest);
+            prop_assert_eq!(backend.backend_stats(), end_stats.clone());
+        }
+    }
+
+    /// Fork-of-fork chains: each chunk of the stream runs on a fresh fork
+    /// of the previous generation, and the final generation is
+    /// bit-identical to the uninterrupted run.
+    #[test]
+    fn fork_of_fork_chains(
+        seed in 0u64..100_000,
+        defense_sel in 0usize..4,
+        backend_sel in 0usize..3,
+    ) {
+        let reqs = stream(72, seed);
+        let mut scratch = make_backend(backend_sel, 4, 2);
+        apply_defense(scratch.as_mut(), defense_sel);
+        let mut want = Vec::with_capacity(reqs.len());
+        for chunk in reqs.chunks(18) {
+            want.extend(scratch.service_batch(chunk).expect("valid stream"));
+        }
+
+        let mut cur = make_backend(backend_sel, 4, 2);
+        apply_defense(cur.as_mut(), defense_sel);
+        let mut got = Vec::with_capacity(reqs.len());
+        for chunk in reqs.chunks(18) {
+            let mut next = cur.fork();
+            got.extend(next.service_batch(chunk).expect("valid stream"));
+            cur = next;
+        }
+        prop_assert_eq!(want, got, "fork chain diverged");
+        prop_assert_eq!(scratch.backend_stats(), cur.backend_stats());
+        prop_assert_eq!(scratch.dram_totals(), cur.dram_totals());
+        prop_assert_eq!(scratch.dram_state_digest(), cur.dram_state_digest());
+    }
+}
+
+/// Seeded load/alloc traffic through the full engine (TLBs, caches, page
+/// tables, clocks), returning the observed latencies and the DRAM digest.
+fn engine_traffic(sys: &mut System, seed: u64) -> (Vec<u64>, u64) {
+    let agent = AgentId(0);
+    let mut rng = SimRng::seed(seed);
+    let mut latencies = Vec::with_capacity(32);
+    for _ in 0..32 {
+        let bank = rng.below(16) as usize;
+        let va = sys.alloc_row_in_bank(agent, bank).expect("alloc");
+        latencies.push(sys.load(agent, va).expect("load").latency.0);
+    }
+    (latencies, sys.backend().dram_state_digest())
+}
+
+/// Whole-`Engine` coverage: a fork taken mid-run resumes bit-identically
+/// to an uninterrupted engine — through the cache hierarchy, TLBs, page
+/// tables and per-agent clocks, not just the raw controller — and
+/// `restore` rewinds the parent across the same boundary.
+#[test]
+fn engine_fork_and_restore_are_bit_faithful() {
+    let mut scratch = System::new(SystemConfig::paper_table2_noiseless());
+    scratch.spawn_agent();
+    engine_traffic(&mut scratch, 7); // shared warm phase
+    let want = engine_traffic(&mut scratch, 8);
+
+    let mut parent = System::new(SystemConfig::paper_table2_noiseless());
+    parent.spawn_agent();
+    engine_traffic(&mut parent, 7);
+    let snap = parent.snapshot();
+    let at_snap = parent.backend().dram_state_digest();
+
+    let mut fork = parent.fork();
+    let got = engine_traffic(&mut fork, 8);
+    assert_eq!(want, got, "forked engine diverged from scratch");
+    assert_eq!(
+        parent.backend().dram_state_digest(),
+        at_snap,
+        "fork traffic mutated the parent engine"
+    );
+
+    // The parent itself resumes identically...
+    let direct = engine_traffic(&mut parent, 8);
+    assert_eq!(want, direct);
+    // ...and restore rewinds it for a bit-exact second pass.
+    parent.restore(&snap);
+    assert_eq!(parent.backend().dram_state_digest(), at_snap);
+    let again = engine_traffic(&mut parent, 8);
+    assert_eq!(want, again, "restored engine diverged");
+}
