@@ -264,6 +264,34 @@ fn used_in_any(tokens: &[Token], ranges: &[Range], name: &str) -> bool {
         .any(|&r| coverage(tokens, r, name) == Coverage::Used)
 }
 
+/// True when `type_name`'s `#[derive(...)]` list names `trait_name` — a
+/// derived impl compares (or clones, hashes, ...) every field by
+/// construction, so per-field coverage holds without a manual impl.
+#[must_use]
+pub fn derives(tokens: &[Token], type_name: &str, trait_name: &str) -> bool {
+    for i in 0..tokens.len() {
+        if tokens[i].is_ident("struct") && tokens.get(i + 1).is_some_and(|t| t.is_ident(type_name))
+        {
+            // The attribute block sits between the previous item's end
+            // (`;` or `}`, or file start) and the `struct` keyword.
+            let start = tokens[..i]
+                .iter()
+                .rposition(|t| t.is_punct(';') || t.is_punct('}'))
+                .map_or(0, |p| p + 1);
+            let mut saw_derive = false;
+            for t in &tokens[start..i] {
+                if t.is_ident("derive") {
+                    saw_derive = true;
+                } else if saw_derive && t.is_ident(trait_name) {
+                    return true;
+                }
+            }
+            return false;
+        }
+    }
+    false
+}
+
 /// Every struct defined with named fields in a file, in source order.
 #[must_use]
 pub fn all_structs(tokens: &[Token]) -> Vec<(String, Vec<Field>)> {
@@ -303,6 +331,7 @@ pub fn check_backend_stats(
     };
 
     let merge = fn_body(&engine, "merge");
+    let eq_derived = derives(&engine, "BackendStats", "PartialEq");
     let eq_bodies = impl_bodies(&engine, "PartialEq", "BackendStats");
     let add_bodies = impl_bodies(&engine, "AddAssign", "BackendStats");
     let finish = fn_body(&codec, "finish");
@@ -346,15 +375,17 @@ pub fn check_backend_stats(
                 format!("BackendStats field `{n}` is not covered by AddAssign"),
             );
         }
-        if !used_in_any(&engine, &eq_bodies, n)
+        if !eq_derived
+            && !used_in_any(&engine, &eq_bodies, n)
             && !manifest.excludes("backend_stats.partialeq_exclude", n)
         {
             diag(
                 f.line,
                 ENGINE_RS,
                 format!(
-                    "BackendStats field `{n}` is not compared by the manual PartialEq \
-                     (or listed in analyze.toml [backend_stats] partialeq_exclude)"
+                    "BackendStats field `{n}` is not compared by PartialEq — derive it, \
+                     compare the field in the manual impl, or list it in analyze.toml \
+                     [backend_stats] partialeq_exclude"
                 ),
             );
         }
@@ -553,6 +584,50 @@ mod tests {
         assert!(msgs.iter().any(|m| m.contains("codec")));
         // Diagnostics anchor to the field's declaration line.
         assert!(d.iter().all(|d| d.line == 5));
+    }
+
+    #[test]
+    fn derived_partialeq_covers_every_field() {
+        // A `#[derive(PartialEq)]` compares all fields by construction,
+        // so only merge and codec coverage can still be missing.
+        let stats = "
+            #[derive(Debug, Clone, Default, PartialEq)]
+            pub struct BackendStats {
+                pub accesses: u64,
+                pub extra: u64,
+            }
+            impl BackendStats {
+                pub fn merge(&mut self, other: &BackendStats) {
+                    self.accesses += other.accesses;
+                }
+            }
+            impl core::ops::AddAssign for BackendStats {
+                fn add_assign(&mut self, rhs: BackendStats) { self.merge(&rhs); }
+            }
+        ";
+        let codec = "
+            fn finish(stats: &BackendStats) { emit(stats.accesses); }
+            fn read_footer() -> BackendStats {
+                BackendStats { accesses: r(), ..BackendStats::default() }
+            }
+        ";
+        let d = check_backend_stats(stats, codec, &Manifest::default());
+        let msgs: Vec<_> = d.iter().map(|d| d.message.as_str()).collect();
+        assert_eq!(d.len(), 2, "{msgs:?}");
+        assert!(msgs.iter().all(|m| m.contains("`extra`")));
+        assert!(!msgs.iter().any(|m| m.contains("PartialEq")), "{msgs:?}");
+    }
+
+    #[test]
+    fn derive_detection_does_not_leak_from_the_previous_item() {
+        let src = "
+            #[derive(PartialEq)]
+            struct Other { a: u64 }
+            struct BackendStats { b: u64 }
+        ";
+        let tokens = lex(src).tokens;
+        assert!(derives(&tokens, "Other", "PartialEq"));
+        assert!(!derives(&tokens, "BackendStats", "PartialEq"));
     }
 
     #[test]

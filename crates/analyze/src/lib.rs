@@ -91,9 +91,13 @@ pub const DETERMINISTIC_CRATES: &[&str] = &[
 ];
 
 /// The only files allowed to create threads or shared-state primitives.
+/// `crates/obs` is the telemetry sink: its atomics (and `Instant` reads)
+/// are the sanctioned home for counters and span timers, policed by R7
+/// everywhere else.
 pub const SANCTIONED_CONCURRENCY: &[&str] = &[
     "crates/memctrl/src/sharded.rs",
     "crates/bench/src/runner.rs",
+    "crates/obs/src/lib.rs",
 ];
 
 /// Classifies a workspace-relative path (always `/`-separated).
@@ -118,7 +122,10 @@ pub fn classify(rel_path: &str) -> FileContext {
     FileContext {
         rel_path: rel_path.to_string(),
         deterministic: in_det_crate_src,
-        clock_exempt: crate_name == Some("bench") || crate_name == Some("analyze") || test_file,
+        clock_exempt: crate_name == Some("bench")
+            || crate_name == Some("analyze")
+            || crate_name == Some("obs")
+            || test_file,
         concurrency_sanctioned: SANCTIONED_CONCURRENCY.contains(&rel_path),
         test_file,
         addr_cast_checked: !test_file
@@ -270,6 +277,12 @@ mod tests {
         assert!(runner.concurrency_sanctioned);
         let sharded = classify("crates/memctrl/src/sharded.rs");
         assert!(sharded.concurrency_sanctioned);
+
+        // The obs sink: clock-exempt, sanctioned atomics, but NOT part of
+        // the deterministic state machine — telemetry never feeds results.
+        let obs = classify("crates/obs/src/lib.rs");
+        assert!(obs.clock_exempt && obs.concurrency_sanctioned);
+        assert!(!obs.deterministic && !obs.test_file);
 
         let ws_test = classify("tests/determinism.rs");
         assert!(ws_test.test_file && ws_test.clock_exempt && !ws_test.deterministic);

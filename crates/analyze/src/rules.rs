@@ -1,4 +1,4 @@
-//! Layer 1: per-file determinism & concurrency lint rules R1–R6.
+//! Layer 1: per-file determinism & concurrency lint rules R1–R7.
 //!
 //! Every rule is a token-pattern check over the [`crate::lexer`] stream;
 //! a site can be justified with a
@@ -19,6 +19,7 @@ pub const RULES: &[&str] = &[
     "lossy-cast",
     "unsafe-code",
     "cow-aliasing",
+    "metrics-placement",
     "allow-syntax",
     "stats-coverage",
     "trace-coverage",
@@ -390,8 +391,8 @@ impl Checker<'_> {
         }
     }
 
-    /// R3: ad-hoc concurrency outside the two sanctioned sites
-    /// (`memctrl::sharded` worker pool, `bench::runner`).
+    /// R3: ad-hoc concurrency outside the sanctioned sites
+    /// (`memctrl::sharded` worker pool, `bench::runner`, the `obs` sinks).
     fn rule_concurrency(&mut self) {
         if self.ctx.concurrency_sanctioned {
             return;
@@ -430,7 +431,8 @@ impl Checker<'_> {
                 line,
                 format!(
                     "`{what}` outside the sanctioned concurrency sites (memctrl::sharded worker \
-                     pool, bench::runner); route new parallelism through the proven pool"
+                     pool, bench::runner, the obs sinks); route new parallelism through the \
+                     proven pool and telemetry through impact_obs"
                 ),
             );
         }
@@ -546,6 +548,59 @@ impl Checker<'_> {
         }
     }
 
+    /// R7: metrics placement — the obs sinks are the only unconditionally
+    /// sanctioned wall-clock/atomics site outside `crates/bench`. R2 and
+    /// R3 police *deterministic* code; this rule covers the exempt
+    /// remainder so the exemptions cannot widen silently: a clock-exempt
+    /// crate (e.g. `analyze`) still may not read wall clocks, and a
+    /// concurrency-sanctioned file (the sharded worker pool) still may
+    /// not grow its own atomics. Counters and span timers belong in
+    /// `impact_obs`, where `Instant::now` and `Atomic*` live behind the
+    /// determinism contract documented there.
+    fn rule_metrics_placement(&mut self) {
+        let path = self.ctx.rel_path.as_str();
+        if path.starts_with("crates/bench/") || path.starts_with("crates/obs/") {
+            return;
+        }
+        let t = self.tokens;
+        let mut flagged = Vec::new();
+        for i in 0..t.len() {
+            if self.in_test[i] {
+                continue;
+            }
+            if self.ctx.clock_exempt {
+                if t[i].is_ident("SystemTime") {
+                    flagged.push((t[i].line, "`SystemTime` read".to_string()));
+                }
+                if t[i].is_ident("Instant")
+                    && t.get(i + 1).is_some_and(|x| x.is_punct(':'))
+                    && t.get(i + 2).is_some_and(|x| x.is_punct(':'))
+                    && t.get(i + 3).is_some_and(|x| x.is_ident("now"))
+                {
+                    flagged.push((t[i].line, "`Instant::now` read".to_string()));
+                }
+            }
+            if self.ctx.concurrency_sanctioned
+                && t[i].kind == TokKind::Ident
+                && t[i].text.starts_with("Atomic")
+                && t[i].text.len() > "Atomic".len()
+            {
+                flagged.push((t[i].line, format!("`{}` state", t[i].text)));
+            }
+        }
+        for (line, what) in flagged {
+            self.emit(
+                "metrics-placement",
+                line,
+                format!(
+                    "{what} outside the obs sinks: wall clocks and atomics are sanctioned \
+                     only in crates/obs (and crates/bench measurement code) — record \
+                     telemetry through the impact_obs registry instead"
+                ),
+            );
+        }
+    }
+
     /// R5: `unsafe` anywhere in the workspace, tests included.
     fn rule_unsafe(&mut self) {
         let t = self.tokens;
@@ -591,6 +646,7 @@ pub fn check_source(ctx: &FileContext, src: &str) -> Vec<Diagnostic> {
     checker.rule_lossy_cast();
     checker.rule_unsafe();
     checker.rule_cow_aliasing();
+    checker.rule_metrics_placement();
     checker.check_allow_syntax();
     checker.diags
 }
@@ -776,5 +832,68 @@ mod tests {
         };
         let src = "fn f(bank: u32) -> u64 { bank as u64 }";
         assert!(check_source(&ctx, src).is_empty());
+    }
+
+    #[test]
+    fn metrics_placement_flags_clocks_in_clock_exempt_crates() {
+        // A clock-exempt crate escapes R2, but R7 still demands the obs
+        // sinks for wall-clock reads.
+        let ctx = FileContext {
+            rel_path: "crates/analyze/src/x.rs".to_string(),
+            clock_exempt: true,
+            ..det_ctx()
+        };
+        let src = "fn f() { let t = Instant::now(); let _ = SystemTime::now(); }";
+        let d = check_source(&ctx, src);
+        assert_eq!(d.len(), 2, "{d:?}");
+        assert!(d.iter().all(|d| d.rule == "metrics-placement"));
+    }
+
+    #[test]
+    fn metrics_placement_flags_atomics_in_sanctioned_files() {
+        // The sharded pool is concurrency-sanctioned (R3 is silent), but
+        // growing new atomic state there must route through impact_obs.
+        let ctx = FileContext {
+            rel_path: "crates/memctrl/src/sharded.rs".to_string(),
+            concurrency_sanctioned: true,
+            ..det_ctx()
+        };
+        let src = "struct S { hits: AtomicU64 }";
+        let d = check_source(&ctx, src);
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert_eq!(d[0].rule, "metrics-placement");
+        let allowed = "// analyze::allow(metrics-placement): pool shutdown latch, not telemetry\n\
+                       struct S { stop: AtomicBool }";
+        assert!(check_source(&ctx, allowed).is_empty());
+    }
+
+    #[test]
+    fn metrics_placement_exempts_the_sinks_themselves() {
+        let src = "fn f() { let t = Instant::now(); let c = AtomicU64::new(0); }";
+        for rel_path in ["crates/obs/src/lib.rs", "crates/bench/src/runner.rs"] {
+            let ctx = FileContext {
+                rel_path: rel_path.to_string(),
+                deterministic: false,
+                clock_exempt: true,
+                concurrency_sanctioned: true,
+                ..det_ctx()
+            };
+            let d = check_source(&ctx, src);
+            assert!(
+                d.iter().all(|d| d.rule != "metrics-placement"),
+                "{rel_path}: {d:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn metrics_placement_is_silent_where_r2_and_r3_already_police() {
+        // In deterministic, non-exempt code R2/R3 own these patterns; R7
+        // must not double-flag (fixture counts depend on this).
+        let src = "fn f() { let t = Instant::now(); let c = AtomicU64::new(0); }";
+        let d = check_source(&det_ctx(), src);
+        assert!(d.iter().all(|d| d.rule != "metrics-placement"), "{d:?}");
+        assert!(d.iter().any(|d| d.rule == "wall-clock"));
+        assert!(d.iter().any(|d| d.rule == "concurrency"));
     }
 }

@@ -1,6 +1,7 @@
 //! Fixture-based tests for the analyzer: one good + one bad snippet per
-//! rule R1–R5 (exact diagnostics asserted), plus a `BackendStats`-style
-//! layer-2 fixture with a counter deliberately missing from `merge`.
+//! rule R1–R5 and R7 (exact diagnostics asserted), plus a
+//! `BackendStats`-style layer-2 fixture with a counter deliberately
+//! missing from `merge`.
 //!
 //! The fixture files live under `tests/fixtures/` — a directory the
 //! workspace walker deliberately skips, because these files exist to
@@ -138,6 +139,48 @@ fn r5_bad_flags_unsafe_even_in_tests() {
     // Unlike R2/R3, a test-only path does not exempt R5.
     let d = check_at("tests/fixture.rs", "r5_unsafe_bad.rs");
     assert_eq!(lines_of(&d, "unsafe-code"), vec![3, 11], "{d:?}");
+}
+
+#[test]
+fn r7_good_is_clean_everywhere() {
+    for path in [
+        "crates/analyze/src/fixture.rs",
+        "crates/memctrl/src/sharded.rs",
+        "crates/sim/src/fixture.rs",
+    ] {
+        let d = check_at(path, "r7_metrics_good.rs");
+        assert!(d.is_empty(), "{path}: {d:?}");
+    }
+}
+
+#[test]
+fn r7_bad_flags_clocks_where_r2_is_exempt() {
+    // A clock-exempt crate escapes R2; R7 still demands the obs sinks for
+    // the `SystemTime` import and both clock reads.
+    let d = check_at("crates/analyze/src/fixture.rs", "r7_metrics_bad.rs");
+    assert_eq!(lines_of(&d, "metrics-placement"), vec![6, 13, 14], "{d:?}");
+    assert!(lines_of(&d, "wall-clock").is_empty(), "{d:?}");
+}
+
+#[test]
+fn r7_bad_flags_atomics_where_r3_is_sanctioned() {
+    // The sharded pool escapes R3; R7 flags the `AtomicU64` import and
+    // field (the clock reads there belong to R2, not R7 — no overlap).
+    let d = check_at("crates/memctrl/src/sharded.rs", "r7_metrics_bad.rs");
+    assert_eq!(lines_of(&d, "metrics-placement"), vec![5, 9], "{d:?}");
+    assert_eq!(lines_of(&d, "wall-clock"), vec![6, 13, 14], "{d:?}");
+    assert!(lines_of(&d, "concurrency").is_empty(), "{d:?}");
+}
+
+#[test]
+fn r7_is_silent_in_the_sinks_themselves() {
+    for path in ["crates/obs/src/lib.rs", "crates/bench/src/fixture.rs"] {
+        let d = check_at(path, "r7_metrics_bad.rs");
+        assert!(
+            lines_of(&d, "metrics-placement").is_empty(),
+            "{path}: {d:?}"
+        );
+    }
 }
 
 /// A codec snippet that carries every counter of the fixture struct, so

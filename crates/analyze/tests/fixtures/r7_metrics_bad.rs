@@ -1,0 +1,16 @@
+//! R7 violations: telemetry primitives growing outside the obs sinks.
+//! Checked at a clock-exempt path (wall-clock half) and at a
+//! concurrency-sanctioned path (atomics half) — contexts where R2/R3 are
+//! silent by design and only R7 stands guard.
+use std::sync::atomic::AtomicU64;
+use std::time::{Instant, SystemTime};
+
+struct AdHocTelemetry {
+    hits: AtomicU64,
+}
+
+fn time_a_phase() -> u128 {
+    let started = Instant::now();
+    let _ = SystemTime::now();
+    started.elapsed().as_nanos()
+}

@@ -1,0 +1,8 @@
+//! R7-clean: telemetry routed through the obs registry. No wall-clock
+//! reads, no ad-hoc atomics — the sinks own both, and a span timer covers
+//! the timing need.
+fn time_a_phase(work: impl FnOnce()) {
+    let _span = impact_obs::registry().worker_busy_ns.span();
+    impact_obs::registry().sharded_parallel_batches.incr();
+    work();
+}

@@ -1,0 +1,187 @@
+//! Sweeps the sharded backend's scaling grid — shards × pool workers ×
+//! batch size — and records per-point throughput and pool-utilization
+//! curves into `BENCH_scaling.json`, the committed scaling trajectory.
+//!
+//! The grid is fixed (shards {1, 4, 8} × workers {1, 2, 4} × batch
+//! {1024, 8192}); `--quick` shrinks the per-point workload, not the grid,
+//! so quick and full runs produce the same key set. Each point records
+//! three keys under the label `s{S}w{W}b{B}`:
+//!
+//! * `.../rps` — serviced requests per wall-clock second;
+//! * `.../pool_share_bp` — share of batches the worker pool serviced in
+//!   parallel, in basis points (from the backend's scheduling counts);
+//! * `.../busy_p50_ns` — median worker busy span, from the
+//!   `sharded.worker.busy_ns` obs histogram (power-of-two bucket lower
+//!   bound, 0 when the pool never engaged).
+//!
+//! The file format and replace-by-label merge semantics are shared with
+//! `bench_record` (see `impact_bench::record`); `--check PATH` compares
+//! the quick run's key set against the latest recorded run, exiting
+//! nonzero on drift — the CI scaling-smoke step.
+//!
+//! ```text
+//! bench_scaling [--quick] [--label NAME] [--note TEXT] [--out PATH]
+//! bench_scaling --quick --check PATH
+//! ```
+//!
+//! Telemetry note: this binary enables the obs span clocks for its own
+//! measurements. The simulated responses it produces are discarded — the
+//! recorded values are wall-clock performance of this machine, never
+//! simulation output, so the determinism contract is untouched.
+
+use std::collections::BTreeSet;
+use std::process::ExitCode;
+use std::time::Instant;
+
+use impact_bench::record::{
+    bench_keys, existing_note, existing_runs, format_run, render_file, run_label,
+};
+use impact_core::config::SystemConfig;
+use impact_core::engine::{MemRequest, MemoryBackend, ReqKind};
+use impact_core::rng::SimRng;
+use impact_core::time::Cycles;
+use impact_memctrl::ControllerBackend;
+use impact_sim::BackendKind;
+
+const DEFAULT_OUT: &str = "BENCH_scaling.json";
+const UNIT: &str = "rps = requests/s; pool_share_bp = basis points; busy_p50_ns = ns";
+const DEFAULT_NOTE: &str =
+    "1-vCPU shared container; absolute numbers are indicative, cross-run ratios are the signal";
+
+const SHARDS: [usize; 3] = [1, 4, 8];
+const WORKERS: [usize; 3] = [1, 2, 4];
+const BATCH_SIZES: [usize; 2] = [1024, 8192];
+
+/// One grid point's measurements, keyed `s{S}w{W}b{B}/...`.
+fn run_point(shards: usize, workers: usize, batch: usize, quick: bool) -> Vec<(String, u128)> {
+    let cfg = SystemConfig::paper_table2();
+    let capacity = cfg.dram_geometry.capacity_bytes();
+    let kind = BackendKind::Sharded { shards, workers };
+    let mut backend = kind.backend(&cfg);
+
+    // A deterministic scalar-only workload spread over the whole device,
+    // so every shard's bucket fills and the pool threshold engages.
+    let iters = if quick { 4 } else { 32 };
+    let mut rng = SimRng::seed(0x5CA1E ^ ((shards as u64) << 16) ^ ((workers as u64) << 8));
+    let reqs: Vec<MemRequest> = (0..batch)
+        .map(|i| MemRequest {
+            addr: impact_core::addr::PhysAddr(rng.below(capacity)),
+            kind: ReqKind::Load,
+            at: Cycles(i as u64),
+            actor: 0,
+        })
+        .collect();
+
+    impact_obs::reset();
+    let started = Instant::now();
+    for _ in 0..iters {
+        backend
+            .service_batch(&reqs)
+            .expect("in-capacity loads cannot fail");
+    }
+    let elapsed = started.elapsed();
+
+    let serviced = (batch * iters) as u128;
+    let rps = (serviced * 1_000_000_000)
+        .checked_div(elapsed.as_nanos())
+        .unwrap_or(0);
+    let (parallel, fallback) = backend.scheduling_counts();
+    let pool_share_bp = (parallel * 10_000)
+        .checked_div(parallel + fallback)
+        .unwrap_or(0);
+    let busy_p50_ns = impact_obs::registry()
+        .worker_busy_ns
+        .snapshot()
+        .quantile(0.5);
+
+    let key = format!("s{shards}w{workers}b{batch}");
+    vec![
+        (format!("{key}/rps"), rps),
+        (format!("{key}/pool_share_bp"), u128::from(pool_share_bp)),
+        (format!("{key}/busy_p50_ns"), u128::from(busy_p50_ns)),
+    ]
+}
+
+fn main() -> ExitCode {
+    let mut quick = false;
+    let mut label = String::from("current");
+    let mut note: Option<String> = None;
+    let mut out_path = String::from(DEFAULT_OUT);
+    let mut check_path: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--quick" => quick = true,
+            "--label" => label = args.next().expect("--label needs a value"),
+            "--note" => note = Some(args.next().expect("--note needs a value")),
+            "--out" => out_path = args.next().expect("--out needs a value"),
+            "--check" => check_path = Some(args.next().expect("--check needs a value")),
+            other => {
+                eprintln!("unknown argument: {other}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    // Span clocks on: busy_p50_ns comes from the worker busy histogram.
+    impact_obs::set_enabled(true);
+    let mut measured: Vec<(String, u128)> = Vec::new();
+    for shards in SHARDS {
+        for workers in WORKERS {
+            for batch in BATCH_SIZES {
+                eprintln!("bench_scaling: s{shards}w{workers}b{batch} ...");
+                measured.extend(run_point(shards, workers, batch, quick));
+            }
+        }
+    }
+    let measured_keys: BTreeSet<String> = measured.iter().map(|(id, _)| id.clone()).collect();
+
+    if let Some(path) = check_path {
+        let contents = match std::fs::read_to_string(&path) {
+            Ok(c) => c,
+            Err(e) => {
+                eprintln!("bench_scaling: cannot read {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let Some(latest) = existing_runs(&contents).into_iter().next_back() else {
+            eprintln!("bench_scaling: no recorded runs in {path}");
+            return ExitCode::FAILURE;
+        };
+        let recorded = bench_keys(&latest);
+        if recorded == measured_keys {
+            println!(
+                "bench_scaling: {} keys in sync with {path}",
+                measured_keys.len()
+            );
+            return ExitCode::SUCCESS;
+        }
+        for missing in recorded.difference(&measured_keys) {
+            eprintln!("bench_scaling: recorded but no longer measured: {missing}");
+        }
+        for unrecorded in measured_keys.difference(&recorded) {
+            eprintln!("bench_scaling: measured but not recorded: {unrecorded}");
+        }
+        eprintln!("bench_scaling: re-run `bench_scaling` and commit {path}");
+        return ExitCode::FAILURE;
+    }
+
+    let previous = std::fs::read_to_string(&out_path).unwrap_or_default();
+    let note = note
+        .or_else(|| existing_note(&previous))
+        .unwrap_or_else(|| DEFAULT_NOTE.to_string());
+    let mut runs: Vec<String> = existing_runs(&previous)
+        .into_iter()
+        .filter(|r| run_label(r) != Some(label.as_str()))
+        .collect();
+    runs.push(format_run(&label, &measured));
+    if let Err(e) = std::fs::write(&out_path, render_file(UNIT, &note, &runs)) {
+        eprintln!("bench_scaling: cannot write {out_path}: {e}");
+        return ExitCode::FAILURE;
+    }
+    println!(
+        "bench_scaling: wrote {} keys as \"{label}\" to {out_path}",
+        measured.len()
+    );
+    ExitCode::SUCCESS
+}

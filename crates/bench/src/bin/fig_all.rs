@@ -12,6 +12,7 @@
 //! fig_all --record-trace f.trace  # capture a replayable trace file
 //! fig_all --trace f.trace       # run a captured trace as an experiment
 //! fig_all --fork-sweeps         # serve sweep points from engine forks
+//! fig_all --metrics m.json      # dump the obs telemetry snapshot
 //! ```
 //!
 //! With `--jobs N` (or `--jobs auto`) the suite is sharded across worker
@@ -31,6 +32,13 @@
 //! (see the README's "Snapshots and forking" section). Output is
 //! bit-identical to a run without the flag — CI diffs the two byte for
 //! byte.
+//!
+//! `--metrics PATH` enables the wall-clock span timers and writes the
+//! process-wide [`impact_obs`] telemetry snapshot (canonical JSON) to
+//! `PATH` after the suite renders. Telemetry lives entirely outside the
+//! deterministic state machine, so the rendered figures and any recorded
+//! traces are byte-identical with or without the flag — CI diffs the two
+//! byte for byte.
 
 use std::env;
 use std::fs::File;
@@ -64,7 +72,7 @@ fn usage_exit(msg: &str) -> ! {
     eprintln!(
         "usage: fig_all [--quick] [--csv] [--fork-sweeps] [--jobs N|auto] \
          [--backend mono|sharded[:N[:T]]|traced] \
-         [--record-trace PATH] [--trace PATH] [EXPERIMENT...]"
+         [--record-trace PATH] [--trace PATH] [--metrics PATH] [EXPERIMENT...]"
     );
     eprintln!("experiments: {}", ALL.join(", "));
     std::process::exit(2);
@@ -110,6 +118,10 @@ fn main() {
     };
     let record_trace = flag_value("--record-trace");
     let trace_path = flag_value("--trace");
+    let metrics_path = flag_value("--metrics");
+    if metrics_path.is_some() {
+        impact_obs::set_enabled(true);
+    }
 
     // Positional args select experiments; flag values are skipped.
     let mut selected: Vec<&str> = Vec::new();
@@ -119,7 +131,12 @@ fn main() {
             skip_next = false;
             continue;
         }
-        if a == "--jobs" || a == "--backend" || a == "--record-trace" || a == "--trace" {
+        if a == "--jobs"
+            || a == "--backend"
+            || a == "--record-trace"
+            || a == "--trace"
+            || a == "--metrics"
+        {
             skip_next = true;
             continue;
         }
@@ -236,5 +253,14 @@ fn main() {
     });
     for fig in &figures {
         render(fig, csv);
+    }
+
+    if let Some(path) = &metrics_path {
+        let json = impact_obs::snapshot().to_json();
+        std::fs::write(path, json).unwrap_or_else(|e| {
+            eprintln!("fig_all: cannot write metrics to {path}: {e}");
+            std::process::exit(1);
+        });
+        eprintln!("fig_all: wrote telemetry snapshot to {path}");
     }
 }

@@ -4,21 +4,29 @@
 //! trace_replay record --out run.trace [--scenario mix|pnm|bfs]
 //!                     [--backend mono|sharded[:N[:T]]|traced] [--quick] [--seed N]
 //! trace_replay replay run.trace [--backend mono|sharded[:N[:T]]|traced]
+//!                     [--metrics m.json]
 //! trace_replay diff   a.trace b.trace
 //! trace_replay stats  run.trace
 //! trace_replay slice  run.trace --out window.trace --start N --count N
+//! trace_replay merge  merged.trace a.trace b.trace [MORE...]
 //! ```
 //!
 //! `record` runs a canonical capture workload with the tracing proxy
 //! spilling straight to disk. `replay` re-services the file on any
 //! backend and verifies responses, `BackendStats` and the DRAM state
 //! digest bit-for-bit against the recorded footer (exit code 1 on any
-//! mismatch). `diff` reports the first divergent event between two files
-//! with context (exit code 1 on divergence). `stats` prints the per-kind
-//! and per-bank request mix. `slice` extracts an event window into a
+//! mismatch); `--metrics PATH` additionally writes the `impact_obs`
+//! telemetry snapshot of the replay (canonical JSON) — telemetry never
+//! feeds the verification, so the verdict is identical with or without
+//! it. `diff` reports the first divergent event between two files with
+//! context (exit code 1 on divergence). `stats` prints the per-kind and
+//! per-bank request mix. `slice` extracts an event window into a
 //! standalone trace whose footer is recomputed by replaying the window
 //! from pristine state — the result passes `replay` verification like any
 //! first-class capture (see `impact_bench::trace_tools::slice_capture`).
+//! `merge` concatenates captures recorded on the same configuration into
+//! one standalone trace whose footer is likewise recomputed from pristine
+//! state (see `impact_bench::trace_tools::merge_captures`).
 
 use std::env;
 use std::fs::File;
@@ -26,7 +34,8 @@ use std::io::BufReader;
 use std::process::ExitCode;
 
 use impact_bench::trace_tools::{
-    diff_readers, record_capture, replay_file, slice_capture, trace_stats, CaptureKind, DiffOutcome,
+    diff_readers, merge_captures, record_capture, replay_file, slice_capture, trace_stats,
+    CaptureKind, DiffOutcome,
 };
 use impact_sim::BackendKind;
 use impact_workloads::CapturedTrace;
@@ -36,10 +45,12 @@ fn usage_exit(msg: &str) -> ! {
     eprintln!(
         "usage: trace_replay record --out FILE [--scenario mix|pnm|bfs] \
          [--backend mono|sharded[:N[:T]]|traced] [--quick] [--seed N]\n\
-         \x20      trace_replay replay FILE [--backend mono|sharded[:N[:T]]|traced]\n\
+         \x20      trace_replay replay FILE [--backend mono|sharded[:N[:T]]|traced] \
+         [--metrics FILE]\n\
          \x20      trace_replay diff A B\n\
          \x20      trace_replay stats FILE\n\
-         \x20      trace_replay slice FILE --out FILE --start N --count N"
+         \x20      trace_replay slice FILE --out FILE --start N --count N\n\
+         \x20      trace_replay merge OUT IN IN [IN...]"
     );
     std::process::exit(2);
 }
@@ -53,6 +64,7 @@ struct Args {
     out: Option<String>,
     start: Option<usize>,
     count: Option<usize>,
+    metrics: Option<String>,
 }
 
 fn parse_args(raw: &[String]) -> Args {
@@ -65,6 +77,7 @@ fn parse_args(raw: &[String]) -> Args {
         out: None,
         start: None,
         count: None,
+        metrics: None,
     };
     let mut it = raw.iter();
     while let Some(a) = it.next() {
@@ -92,6 +105,7 @@ fn parse_args(raw: &[String]) -> Args {
                     .unwrap_or_else(|_| usage_exit(&format!("bad --seed value {v:?}")));
             }
             "--out" => args.out = Some(value("--out")),
+            "--metrics" => args.metrics = Some(value("--metrics")),
             "--start" => {
                 let v = value("--start");
                 args.start = Some(
@@ -168,6 +182,9 @@ fn main() -> ExitCode {
             let [file] = &args.positional[..] else {
                 usage_exit("replay takes exactly one trace file");
             };
+            if args.metrics.is_some() {
+                impact_obs::set_enabled(true);
+            }
             let v = replay_file(open(file), args.backend).unwrap_or_else(|e| {
                 eprintln!("trace_replay: replay failed: {e}");
                 std::process::exit(1);
@@ -180,6 +197,14 @@ fn main() -> ExitCode {
             );
             println!("  response-digest={:#018x}", v.response_digest);
             println!("  state-digest={:#018x}", v.state_digest);
+            if let Some(path) = &args.metrics {
+                let json = impact_obs::snapshot().to_json();
+                std::fs::write(path, json)
+                    .unwrap_or_else(|e| usage_exit(&format!("cannot write {path}: {e}")));
+                let (par, seq) = v.pool_batches;
+                println!("  metrics: wrote telemetry snapshot to {path}");
+                println!("  metrics: pool batches parallel={par} fallback={seq}");
+            }
             if v.matches() {
                 println!("  verdict: bit-identical to the recorded run");
                 ExitCode::SUCCESS
@@ -307,6 +332,37 @@ fn main() -> ExitCode {
                 start + count,
                 captured.events.len(),
             );
+            println!(
+                "  {} events, {} responses, recomputed digest {:#018x}",
+                outcome.summary.events, outcome.summary.responses, outcome.summary.response_digest
+            );
+            println!("  state-digest={:#018x}", outcome.state_digest);
+            ExitCode::SUCCESS
+        }
+        "merge" => {
+            let [out, inputs @ ..] = &args.positional[..] else {
+                usage_exit("merge takes an output file then at least two inputs");
+            };
+            if inputs.len() < 2 {
+                usage_exit("merge takes an output file then at least two inputs");
+            }
+            let captures: Vec<CapturedTrace> = inputs
+                .iter()
+                .map(|file| {
+                    CapturedTrace::read_from(open(file)).unwrap_or_else(|e| {
+                        eprintln!("trace_replay: cannot read {file}: {e}");
+                        std::process::exit(1);
+                    })
+                })
+                .collect();
+            let sink = File::create(out)
+                .unwrap_or_else(|e| usage_exit(&format!("cannot create {out}: {e}")));
+            let outcome =
+                merge_captures(&captures, std::io::BufWriter::new(sink)).unwrap_or_else(|e| {
+                    eprintln!("trace_replay: merge failed: {e}");
+                    std::process::exit(1);
+                });
+            println!("merged {} traces into {out}", inputs.len());
             println!(
                 "  {} events, {} responses, recomputed digest {:#018x}",
                 outcome.summary.events, outcome.summary.responses, outcome.summary.response_digest

@@ -25,6 +25,7 @@
 
 pub mod experiments;
 pub mod hotpath;
+pub mod record;
 pub mod runner;
 pub mod series;
 pub mod trace_tools;

@@ -348,7 +348,10 @@ impl SweepRunner {
             let mut out = Vec::with_capacity(total);
             for (index, job) in jobs.iter().enumerate() {
                 on_event(RunAllEvent::Started { id: job.id() });
-                let fig = job.run();
+                let fig = {
+                    let _span = impact_obs::registry().experiment_wall_ns.span();
+                    job.run()
+                };
                 for series in &fig.series {
                     on_event(RunAllEvent::SeriesReady {
                         id: job.id(),
@@ -381,7 +384,10 @@ impl SweepRunner {
                         let i = next.fetch_add(1, Ordering::Relaxed);
                         let Some(job) = jobs.get(i) else { break };
                         let _ = tx.send(SuiteMsg::Started(i));
-                        let fig = job.run();
+                        let fig = {
+                            let _span = impact_obs::registry().experiment_wall_ns.span();
+                            job.run()
+                        };
                         let _ = tx.send(SuiteMsg::Done(i, fig));
                     }
                 });

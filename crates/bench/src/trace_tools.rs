@@ -215,6 +215,15 @@ pub struct ReplayVerification {
     /// Final DRAM state digest of the replaying backend — equal across
     /// any two backends that replayed the same file.
     pub state_digest: u64,
+    /// Pool-scheduling telemetry of the replaying backend —
+    /// `(parallel_batches, sequential_fallbacks)` from
+    /// [`ControllerBackend::scheduling_counts`], `(0, 0)` on non-pooled
+    /// backends. Diagnostic only: backend-dependent by design, so it is
+    /// not part of [`ReplayVerification::matches`].
+    ///
+    /// [`ControllerBackend::scheduling_counts`]:
+    /// impact_memctrl::ControllerBackend::scheduling_counts
+    pub pool_batches: (u64, u64),
 }
 
 impl ReplayVerification {
@@ -262,6 +271,7 @@ pub fn replay_file<R: Read>(reader: R, kind: BackendKind) -> Result<ReplayVerifi
         response_digest: digest,
         stats: backend.backend_stats(),
         state_digest: backend.dram_state_digest(),
+        pool_batches: backend.scheduling_counts(),
     })
 }
 
@@ -390,8 +400,9 @@ pub fn trace_stats<R: Read>(reader: R) -> Result<(TraceHeader, RequestMix, Trace
     Ok((captured.header, mix, captured.summary))
 }
 
-/// Outcome of [`slice_capture`]: the standalone slice's recomputed footer
-/// plus the slicing backend's final DRAM state digest.
+/// Outcome of [`slice_capture`] or [`merge_captures`]: the output trace's
+/// recomputed footer plus the recomputing backend's final DRAM state
+/// digest.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SliceOutcome {
     /// The slice's footer, recomputed by replaying the window on a fresh
@@ -450,6 +461,71 @@ pub fn slice_capture<W: Write>(
         stats: backend.backend_stats(),
     };
     impact_core::trace::write_trace(sink, &captured.header, window, &summary)?;
+    Ok(SliceOutcome {
+        summary,
+        state_digest: backend.dram_state_digest(),
+    })
+}
+
+/// Concatenates captured traces into one standalone, footer-valid trace
+/// written to `sink` (`trace_replay merge`).
+///
+/// Every input must carry the same config label and fingerprint (the
+/// merged events replay against one configuration); the output reuses the
+/// first input's header, so its seed records the first capture's
+/// provenance. Events are copied verbatim in input order and the footer
+/// is *recomputed* by replaying the concatenation on a fresh mono
+/// backend — later inputs are serviced against the DRAM state the earlier
+/// ones left behind, so the merged footer is not the sum of the input
+/// footers. As with [`slice_capture`], the result is a first-class trace:
+/// `replay` verifies it on any backend, `diff`/`stats`/`slice` read it
+/// like any capture.
+///
+/// # Errors
+///
+/// [`Error::TraceFormat`] when fewer than two inputs are given, for an
+/// unknown config label, or when the inputs disagree on label or
+/// fingerprint; [`Error::TraceConfigMismatch`] when label and fingerprint
+/// disagree; trace-write and backend service errors.
+pub fn merge_captures<W: Write>(inputs: &[CapturedTrace], sink: W) -> Result<SliceOutcome> {
+    let [first, rest @ ..] = inputs else {
+        return Err(Error::TraceFormat("merge needs at least two traces".into()));
+    };
+    if rest.is_empty() {
+        return Err(Error::TraceFormat("merge needs at least two traces".into()));
+    }
+    let cfg = config_for_label(&first.header.label).ok_or_else(|| {
+        Error::TraceFormat(format!("unknown config label {:?}", first.header.label))
+    })?;
+    first.header.expect_config(&cfg)?;
+    for (i, input) in rest.iter().enumerate() {
+        if input.header.label != first.header.label
+            || input.header.fingerprint != first.header.fingerprint
+        {
+            return Err(Error::TraceFormat(format!(
+                "input {} was captured on {:?} ({:#018x}), expected {:?} ({:#018x})",
+                i + 2,
+                input.header.label,
+                input.header.fingerprint,
+                first.header.label,
+                first.header.fingerprint,
+            )));
+        }
+    }
+    let mut events: Vec<TraceEvent> = Vec::new();
+    for input in inputs {
+        events.extend(input.events.iter().cloned());
+    }
+    let mut backend = BackendKind::Mono.backend(&cfg);
+    let (responses, response_digest) =
+        impact_core::trace::replay_digest(events.iter().cloned().map(Ok), &mut backend)?;
+    let summary = TraceSummary {
+        events: events.len() as u64,
+        responses,
+        response_digest,
+        stats: backend.backend_stats(),
+    };
+    impact_core::trace::write_trace(sink, &first.header, &events, &summary)?;
     Ok(SliceOutcome {
         summary,
         state_digest: backend.dram_state_digest(),
@@ -681,6 +757,44 @@ mod tests {
             .unwrap();
             assert!(v.matches(), "{} diverged", kind.name());
         }
+    }
+
+    #[test]
+    fn merged_halves_reproduce_the_original_capture() {
+        let (bytes, outcome) = quick_capture(CaptureKind::Mix, BackendKind::Mono);
+        let captured = CapturedTrace::read_from(&bytes[..]).unwrap();
+        let total = captured.events.len();
+        assert!(total > 10, "capture too small to split");
+
+        // Split into standalone halves, then merge them back together.
+        let halves: Vec<CapturedTrace> = [(0, total / 2), (total / 2, total - total / 2)]
+            .into_iter()
+            .map(|(start, count)| {
+                let sink = SharedVec::default();
+                slice_capture(&captured, start, count, sink.clone()).unwrap();
+                CapturedTrace::read_from(&sink.take()[..]).unwrap()
+            })
+            .collect();
+        let sink = SharedVec::default();
+        let merged = merge_captures(&halves, sink.clone()).unwrap();
+
+        // The merged footer is recomputed over the full concatenation, so
+        // it matches the original capture exactly — and the merged trace
+        // is a first-class replay artifact on any backend.
+        assert_eq!(merged.summary, outcome.summary);
+        assert_eq!(merged.state_digest, outcome.state_digest);
+        let v = replay_file(
+            &sink.take()[..],
+            BackendKind::Sharded {
+                shards: 4,
+                workers: 1,
+            },
+        )
+        .unwrap();
+        assert!(v.matches(), "merged trace diverged: {v:?}");
+
+        // Fewer than two inputs is a usage error, not a silent copy.
+        assert!(merge_captures(&halves[..1], Vec::new()).is_err());
     }
 
     #[test]

@@ -152,15 +152,15 @@ pub struct MemResponse {
 
 /// Aggregate statistics a backend exposes to the layers above it.
 ///
-/// The first five counters describe *observable* behavior — what the
-/// backend did to requests — and are what [`PartialEq`] compares. The
-/// scheduling counters ([`BackendStats::parallel_batches`],
-/// [`BackendStats::sequential_fallbacks`]) describe *how* a composite
-/// backend chose to execute batches; they legitimately differ between a
-/// parallel and a sequential run of the very same traffic, so they are
-/// excluded from equality (and from the on-disk trace footer) while still
-/// being merged and readable for diagnostics.
-#[derive(Debug, Default, Clone, Eq)]
+/// Every counter describes *observable* behavior — what the backend did
+/// to requests — so the derived [`PartialEq`] compares all of them and
+/// the trace footer persists all of them. Scheduling diagnostics (which
+/// execution path serviced a batch, pool utilization, etc.) are
+/// deliberately **not** part of this struct: they legitimately differ
+/// between a parallel and a sequential run of the very same traffic and
+/// live in the `impact-obs` telemetry registry (plus per-controller
+/// counters such as `ShardedController::scheduling_counts`) instead.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
 pub struct BackendStats {
     /// Demand accesses served.
     pub accesses: u64,
@@ -172,35 +172,6 @@ pub struct BackendStats {
     pub padded: u64,
     /// Accesses rejected by a partitioning defense.
     pub partition_rejects: u64,
-    /// Batches a parallel-enabled composite backend serviced on its worker
-    /// pool. Scheduling diagnostic: excluded from equality.
-    pub parallel_batches: u64,
-    /// Batches a parallel-enabled composite backend serviced sequentially
-    /// instead (below the adaptive threshold, non-bucketable request mix,
-    /// or fewer than two populated shards). Scheduling diagnostic:
-    /// excluded from equality.
-    pub sequential_fallbacks: u64,
-}
-
-impl PartialEq for BackendStats {
-    fn eq(&self, other: &BackendStats) -> bool {
-        // Exhaustive destructuring so a new counter must make an explicit
-        // choice between observable (compared) and scheduling (ignored).
-        let BackendStats {
-            accesses,
-            rowclones,
-            blocked,
-            padded,
-            partition_rejects,
-            parallel_batches: _,
-            sequential_fallbacks: _,
-        } = *self;
-        accesses == other.accesses
-            && rowclones == other.rowclones
-            && blocked == other.blocked
-            && padded == other.padded
-            && partition_rejects == other.partition_rejects
-    }
 }
 
 impl BackendStats {
@@ -217,16 +188,12 @@ impl BackendStats {
             blocked,
             padded,
             partition_rejects,
-            parallel_batches,
-            sequential_fallbacks,
         } = *other;
         self.accesses += accesses;
         self.rowclones += rowclones;
         self.blocked += blocked;
         self.padded += padded;
         self.partition_rejects += partition_rejects;
-        self.parallel_batches += parallel_batches;
-        self.sequential_fallbacks += sequential_fallbacks;
     }
 }
 
@@ -404,8 +371,6 @@ mod tests {
             blocked: 3,
             padded: 4,
             partition_rejects: 5,
-            parallel_batches: 6,
-            sequential_fallbacks: 7,
         };
         let b = BackendStats {
             accesses: 10,
@@ -413,8 +378,6 @@ mod tests {
             blocked: 30,
             padded: 40,
             partition_rejects: 50,
-            parallel_batches: 60,
-            sequential_fallbacks: 70,
         };
         let mut m = a.clone();
         m.merge(&b);
@@ -426,13 +389,8 @@ mod tests {
                 blocked: 33,
                 padded: 44,
                 partition_rejects: 55,
-                parallel_batches: 66,
-                sequential_fallbacks: 77,
             }
         );
-        // The scheduling counters merge like the rest...
-        assert_eq!(m.parallel_batches, 66);
-        assert_eq!(m.sequential_fallbacks, 77);
         // AddAssign agrees, by value and by reference.
         let mut v = a.clone();
         v += b.clone();
@@ -446,21 +404,20 @@ mod tests {
         assert_eq!(m, before);
     }
 
-    /// Scheduling counters describe execution strategy, not observable
-    /// behavior: two stats blocks that differ only in them are equal,
-    /// while any observable counter still breaks equality.
+    /// Every `BackendStats` counter is observable behavior, so the
+    /// derived equality compares each of them — scheduling diagnostics
+    /// live outside this struct entirely (obs registry + per-controller
+    /// counters), which is what keeps equality exhaustive.
     #[test]
-    fn backend_stats_equality_ignores_scheduling_counters() {
-        let mut a = BackendStats {
+    fn backend_stats_equality_compares_every_counter() {
+        let a = BackendStats {
             accesses: 9,
             ..BackendStats::default()
         };
         let mut b = a.clone();
-        b.parallel_batches = 5;
-        b.sequential_fallbacks = 3;
-        assert_eq!(a, b, "scheduling counters must not break equality");
-        a.padded = 1;
-        assert_ne!(a, b, "observable counters must still be compared");
+        assert_eq!(a, b);
+        b.padded = 1;
+        assert_ne!(a, b, "observable counters must be compared");
     }
 
     #[test]

@@ -344,19 +344,17 @@ impl<W: Write> TraceWriter<W> {
         self.w
             .write_all(&response_digest.to_le_bytes())
             .map_err(|e| io_err(&e))?;
-        // Only the observable counters enter the on-disk footer: the
-        // scheduling diagnostics (parallel_batches / sequential_fallbacks)
-        // describe how the recording backend happened to execute batches
-        // and would make byte-identical traffic produce different files
-        // across worker-pool configurations.
+        // Exhaustive destructuring keeps the footer in lock-step with the
+        // struct: every observable counter enters the on-disk format.
+        // (Scheduling diagnostics live in the obs registry, outside
+        // BackendStats, precisely so byte-identical traffic produces
+        // byte-identical files across worker-pool configurations.)
         let BackendStats {
             accesses,
             rowclones,
             blocked,
             padded,
             partition_rejects,
-            parallel_batches: _,
-            sequential_fallbacks: _,
         } = *stats;
         for counter in [accesses, rowclones, blocked, padded, partition_rejects] {
             write_varint(&mut self.w, counter)?;
@@ -508,8 +506,6 @@ impl<R: Read> TraceReader<R> {
                 blocked: counters[2],
                 padded: counters[3],
                 partition_rejects: counters[4],
-                // Scheduling diagnostics are not part of the format.
-                ..BackendStats::default()
             },
         })
     }
@@ -649,7 +645,6 @@ mod tests {
                 blocked: 0,
                 padded: 2,
                 partition_rejects: 0,
-                ..BackendStats::default()
             },
         }
     }

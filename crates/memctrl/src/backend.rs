@@ -140,6 +140,18 @@ pub trait ControllerBackend: MemoryBackend {
     /// Object-safe [`Snapshot::fork`]: a copy-on-write duplicate behind a
     /// fresh box, sharing bulk state with `self` until either side writes.
     fn fork_boxed(&self) -> Box<dyn ControllerBackend>;
+
+    /// Scheduling diagnostics `(parallel_batches, sequential_fallbacks)`:
+    /// how many batches this backend dispatched to a worker pool vs.
+    /// serviced sequentially despite one. `(0, 0)` for backends without a
+    /// pool. These are telemetry, not observable state: they never enter
+    /// [`BackendStats`], snapshots, or trace footers, and forks start
+    /// from zero. (The process-wide equivalents live in the `impact-obs`
+    /// registry; this per-controller view exists so tests can assert
+    /// exact counts without cross-test interference.)
+    fn scheduling_counts(&self) -> (u64, u64) {
+        (0, 0)
+    }
 }
 
 impl ControllerBackend for MemoryController {
@@ -232,6 +244,10 @@ impl ControllerBackend for ShardedController {
     fn fork_boxed(&self) -> Box<dyn ControllerBackend> {
         Box::new(Snapshot::fork(self))
     }
+
+    fn scheduling_counts(&self) -> (u64, u64) {
+        ShardedController::scheduling_counts(self)
+    }
 }
 
 impl<B: ControllerBackend> ControllerBackend for TracingBackend<B> {
@@ -279,6 +295,10 @@ impl<B: ControllerBackend> ControllerBackend for TracingBackend<B> {
         // identical to the original.
         Box::new(self.fork_with(self.inner().fork_boxed()))
     }
+
+    fn scheduling_counts(&self) -> (u64, u64) {
+        self.inner().scheduling_counts()
+    }
 }
 
 impl<B: ControllerBackend + ?Sized> ControllerBackend for Box<B> {
@@ -316,6 +336,10 @@ impl<B: ControllerBackend + ?Sized> ControllerBackend for Box<B> {
 
     fn fork_boxed(&self) -> Box<dyn ControllerBackend> {
         (**self).fork_boxed()
+    }
+
+    fn scheduling_counts(&self) -> (u64, u64) {
+        (**self).scheduling_counts()
     }
 }
 

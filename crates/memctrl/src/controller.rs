@@ -16,6 +16,18 @@ use crate::defense::{ActBankState, ActConfig, Defense};
 /// counter is maintained by this controller).
 pub use impact_core::engine::BackendStats as CtrlStats;
 
+/// Telemetry probe for the controller's copy-on-write write-backs:
+/// records a `ctrl.cow.unshares` event when the `Arc::make_mut` the
+/// caller is about to perform will actually clone — i.e. a snapshot or
+/// fork still aliases the state. Pure observation; the unshare itself
+/// stays at the call site with its own aliasing justification.
+#[inline]
+fn note_unshare<T>(arc: &Arc<T>) {
+    if Arc::strong_count(arc) > 1 {
+        impact_obs::registry().cow_unshares.incr();
+    }
+}
+
 /// A periodic per-bank blocking mechanism: refresh (REF) or RowHammer
 /// mitigations (RFM / PRAC, §8.4 of the paper). Once per `interval` per
 /// bank, the next request to that bank is delayed by `block` — the
@@ -226,6 +238,7 @@ impl MemoryController {
         };
         let epoch = now.0 / b.interval.0.max(1);
         if epoch > self.block_epoch[bank] {
+            note_unshare(&self.block_epoch);
             // analyze::allow(cow-aliasing): rolls this bank's RFM epoch
             // forward; guarded by the epoch compare so shared state is
             // only copied when the write actually happens
@@ -424,6 +437,9 @@ impl MemoryController {
         out: &mut Vec<MemResponse>,
     ) -> Result<()> {
         out.clear();
+        impact_obs::registry()
+            .ctrl_batch_size
+            .record(reqs.len() as u64);
         let mut i = 0;
         while i < reqs.len() {
             if matches!(reqs[i].kind, ReqKind::RowClone { .. }) {
@@ -449,6 +465,7 @@ impl MemoryController {
         out: &mut Vec<MemResponse>,
     ) -> Result<()> {
         if reqs.len() < BUCKET_MIN {
+            impact_obs::registry().ctrl_serial_segments.incr();
             // Hoisted once per run: the lean path is valid exactly when
             // `take_block_delay` would always return zero and
             // `apply_latency_defense` would always return the raw latency.
@@ -488,6 +505,7 @@ impl MemoryController {
                 _ => true,
             };
         if !ok {
+            impact_obs::registry().ctrl_serial_segments.incr();
             self.scratch = scratch;
             for req in reqs {
                 let resp = self.service(req)?;
@@ -500,6 +518,7 @@ impl MemoryController {
             // Sparse by construction (cannot average two requests per
             // bank): serve in order, appending directly — no index list,
             // no placeholder resize, no scatter.
+            impact_obs::registry().ctrl_sparse_segments.incr();
             self.service_located_append(reqs, &scratch.locs, out);
             self.scratch = scratch;
             return Ok(());
@@ -609,6 +628,7 @@ impl MemoryController {
         }
 
         if sparse {
+            impact_obs::registry().ctrl_sparse_segments.incr();
             // Serve serially in request order; per-bank state round-trips
             // through the arrays per request (dirtying only the fields an
             // access changes), with no order/prefix/scatter passes.
@@ -625,6 +645,7 @@ impl MemoryController {
                 );
             }
         } else {
+            impact_obs::registry().ctrl_dense_segments.incr();
             // Dense: counts become bucket start cursors (buckets laid out
             // in first-appearance order), then the stable scatter advances
             // them to bucket ends.
@@ -711,11 +732,13 @@ impl MemoryController {
                 }
                 self.dram.store_cursor(bank, cur);
                 if blocking.is_some() {
+                    note_unshare(&self.block_epoch);
                     // analyze::allow(cow-aliasing): bucketed batch
                     // write-back of the RFM epoch computed in registers
                     Arc::make_mut(&mut self.block_epoch)[bank] = bepoch;
                 }
                 if act {
+                    note_unshare(&self.act_state);
                     // analyze::allow(cow-aliasing): bucketed batch
                     // write-back of the ACT state computed in registers
                     Arc::make_mut(&mut self.act_state)[bank] = astate;
@@ -766,6 +789,7 @@ impl MemoryController {
         if let Some(bk) = env.blocking {
             let epoch = now.0 / bk.interval.0.max(1);
             if epoch > self.block_epoch[bank] {
+                note_unshare(&self.block_epoch);
                 // analyze::allow(cow-aliasing): per-request RFM epoch
                 // roll, same guarded write as the scalar path
                 Arc::make_mut(&mut self.block_epoch)[bank] = epoch;
@@ -783,6 +807,7 @@ impl MemoryController {
             }
             Pad::Act { cfg, epoch_len } => {
                 let epoch = now.0 / epoch_len;
+                note_unshare(&self.act_state);
                 // analyze::allow(cow-aliasing): ACT tracks per-access
                 // conflict counts, so servicing under ACT always writes
                 // this bank's slot
@@ -1017,6 +1042,7 @@ impl MemoryController {
                 let cfg = *cfg;
                 let epoch_len = cfg.epoch_cycles(self.clock).0.max(1);
                 let epoch = now.0 / epoch_len;
+                note_unshare(&self.act_state);
                 // analyze::allow(cow-aliasing): ACT conflict accounting
                 // writes this bank's slot on every serviced access
                 let state = &mut Arc::make_mut(&mut self.act_state)[bank];

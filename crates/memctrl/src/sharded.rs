@@ -44,10 +44,12 @@
 //!
 //! Batches below the threshold (or non-bucketable ones: RowClones, MPR,
 //! out-of-range addresses) take the sequential path, so small-batch
-//! workloads never pay dispatch overhead. The
-//! [`BackendStats::parallel_batches`] / [`BackendStats::sequential_fallbacks`]
-//! scheduling counters record which path ran; they are excluded from
-//! stats equality, so parallel and sequential runs still compare equal.
+//! workloads never pay dispatch overhead. Which path ran is telemetry,
+//! not observable state: each controller keeps plain
+//! [`ShardedController::scheduling_counts`] (zeroed on fork, never
+//! snapshotted) and mirrors them into the process-wide `impact-obs`
+//! registry together with per-shard bucket sizes and worker busy spans —
+//! none of which can perturb [`BackendStats`], responses, or digests.
 //! The equivalence proof lives in the proptests below, in
 //! `tests/parallel_shards.rs`, and in the recorded-trace cross-checks.
 //!
@@ -150,6 +152,10 @@ impl WorkerPool {
             let done_tx = done_tx.clone();
             handles.push(thread::spawn(move || {
                 while let Ok(mut job) = job_rx.recv() {
+                    // Worker busy time is telemetry (inert unless obs
+                    // span timing is enabled) and cannot influence the
+                    // deterministic result travelling back in `done`.
+                    let _busy = impact_obs::registry().worker_busy_ns.span();
                     // Catch panics so a poisoned bucket never deadlocks the
                     // dispatcher waiting on `done_rx`; the payload is
                     // re-thrown on the servicing thread.
@@ -169,6 +175,7 @@ impl WorkerPool {
             }));
             job_txs.push(job_tx);
         }
+        impact_obs::registry().pool_workers.set(workers as u64);
         WorkerPool {
             job_txs,
             done_rx,
@@ -198,8 +205,7 @@ impl Drop for WorkerPool {
 pub struct ShardedController {
     subs: Vec<MemoryController>,
     /// Top-level counters the sub-controllers cannot attribute: whole
-    /// masked RowClone operations (their lanes are split across shards)
-    /// and the batch scheduling diagnostics.
+    /// masked RowClone operations (their lanes are split across shards).
     local: BackendStats,
     /// Worker threads servicing shard buckets concurrently; 1 = always
     /// sequential.
@@ -209,6 +215,13 @@ pub struct ShardedController {
     /// Spawned by [`ShardedController::set_workers`], kept across batches
     /// (sized to `workers`; `None` iff `workers == 1`).
     pool: Option<WorkerPool>,
+    /// Telemetry, not state: batches dispatched to the worker pool. Never
+    /// snapshotted, zeroed on fork (see [`ShardedController::scheduling_counts`]).
+    sched_parallel: u64,
+    /// Telemetry, not state: batches serviced sequentially despite an
+    /// active pool (non-bucketable mix, below threshold, <2 populated
+    /// shards).
+    sched_fallback: u64,
 }
 
 impl core::fmt::Debug for ShardedController {
@@ -242,6 +255,8 @@ impl ShardedController {
             workers: 1,
             parallel_threshold: DEFAULT_PARALLEL_THRESHOLD,
             pool: None,
+            sched_parallel: 0,
+            sched_fallback: 0,
         }
     }
 
@@ -293,6 +308,18 @@ impl ShardedController {
     #[must_use]
     pub fn parallel_threshold(&self) -> usize {
         self.parallel_threshold
+    }
+
+    /// Scheduling diagnostics `(parallel_batches, sequential_fallbacks)`
+    /// since this controller was created (or forked — forks start from
+    /// zero). Telemetry only: the counts never enter [`BackendStats`],
+    /// snapshots, or trace footers, so a parallel and a sequential run of
+    /// the same traffic still compare equal everywhere that matters. The
+    /// process-wide totals live in the `impact-obs` registry; this
+    /// per-controller view is what tests assert exact counts against.
+    #[must_use]
+    pub fn scheduling_counts(&self) -> (u64, u64) {
+        (self.sched_parallel, self.sched_fallback)
     }
 
     /// Shard index owning `bank`.
@@ -475,6 +502,9 @@ impl ShardedController {
             if reqs.is_empty() {
                 continue;
             }
+            impact_obs::registry()
+                .sharded_bucket_size
+                .record(reqs.len() as u64);
             let sub = slots[shard].take().expect("sub-controller in its slot");
             let job = ShardJob {
                 shard,
@@ -562,6 +592,10 @@ impl Snapshot for ShardedController {
             // Threads are not forkable; `service_buckets_parallel`
             // respawns a pool sized to `workers` on first use.
             pool: None,
+            // Telemetry never travels through forks: a forked controller
+            // reports only its own scheduling decisions.
+            sched_parallel: 0,
+            sched_fallback: 0,
         }
     }
 }
@@ -599,7 +633,8 @@ impl MemoryBackend for ShardedController {
             });
         if !bucketable {
             if self.workers > 1 {
-                self.local.sequential_fallbacks += 1;
+                self.sched_fallback += 1;
+                impact_obs::registry().sharded_fallback_batches.incr();
             }
             return reqs.iter().map(|r| self.service(r)).collect();
         }
@@ -625,7 +660,8 @@ impl MemoryBackend for ShardedController {
             }
             let populated = idx.iter().filter(|v| !v.is_empty()).count();
             if populated > 1 {
-                self.local.parallel_batches += 1;
+                self.sched_parallel += 1;
+                impact_obs::registry().sharded_parallel_batches.incr();
                 // Jobs cross a thread boundary, so each shard's requests
                 // and locations are copied into an owned bucket.
                 let by_shard: Vec<ShardBucket> = idx
@@ -640,7 +676,8 @@ impl MemoryBackend for ShardedController {
             }
         }
         if self.workers > 1 {
-            self.local.sequential_fallbacks += 1;
+            self.sched_fallback += 1;
+            impact_obs::registry().sharded_fallback_batches.incr();
         }
         // Sequential: one in-order pass over the batch, each request
         // served in place by its owning shard — no index lists, no
@@ -907,10 +944,10 @@ mod tests {
         assert_eq!(mono.backend_stats(), par.backend_stats());
         assert_eq!(mono.dram().total_stats(), par.dram_totals());
         assert!(
-            par.backend_stats().parallel_batches > 0,
+            par.scheduling_counts().0 > 0,
             "threshold 1 must engage the pool"
         );
-        assert_eq!(seq.backend_stats().parallel_batches, 0);
+        assert_eq!(seq.scheduling_counts().0, 0);
     }
 
     /// The scheduling counters prove which path serviced each batch
@@ -929,13 +966,11 @@ mod tests {
 
         // Below the threshold: sequential fallback.
         MemoryBackend::service_batch(&mut sc, &scalars[..8]).unwrap();
-        assert_eq!(sc.backend_stats().parallel_batches, 0);
-        assert_eq!(sc.backend_stats().sequential_fallbacks, 1);
+        assert_eq!(sc.scheduling_counts(), (0, 1));
 
         // At/above the threshold with multiple populated shards: parallel.
         MemoryBackend::service_batch(&mut sc, &scalars[..64]).unwrap();
-        assert_eq!(sc.backend_stats().parallel_batches, 1);
-        assert_eq!(sc.backend_stats().sequential_fallbacks, 1);
+        assert_eq!(sc.scheduling_counts(), (1, 1));
 
         // Non-bucketable batches (RowClones) always fall back.
         let with_rc: Vec<MemRequest> = reqs.iter().copied().take(64).collect();
@@ -943,14 +978,15 @@ mod tests {
             .iter()
             .any(|r| matches!(r.kind, ReqKind::RowClone { .. })));
         MemoryBackend::service_batch(&mut sc, &with_rc).unwrap();
-        assert_eq!(sc.backend_stats().parallel_batches, 1);
-        assert_eq!(sc.backend_stats().sequential_fallbacks, 2);
+        assert_eq!(sc.scheduling_counts(), (1, 2));
 
-        // A sequential controller records no scheduling at all.
+        // A sequential controller records no scheduling at all, and a
+        // fork of the busy controller starts over from zero — telemetry
+        // never travels through forks.
         let mut seq = ShardedController::from_config(&cfg(), 4);
         MemoryBackend::service_batch(&mut seq, &scalars[..64]).unwrap();
-        assert_eq!(seq.backend_stats().parallel_batches, 0);
-        assert_eq!(seq.backend_stats().sequential_fallbacks, 0);
+        assert_eq!(seq.scheduling_counts(), (0, 0));
+        assert_eq!(Snapshot::fork(&sc).scheduling_counts(), (0, 0));
     }
 
     /// Reconfiguring the pool size mid-stream neither loses state nor

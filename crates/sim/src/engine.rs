@@ -900,6 +900,10 @@ impl<B: MemoryBackend + Snapshot> Snapshot for Engine<B> {
     type Snap = EngineSnapshot<B::Snap>;
 
     fn snapshot(&self) -> EngineSnapshot<B::Snap> {
+        // Telemetry event only — the snapshot itself carries no
+        // telemetry state (the obs registry is process-global and never
+        // an engine field).
+        impact_obs::registry().engine_snapshots.incr();
         EngineSnapshot {
             cfg: self.cfg.clone(),
             params: self.params,
@@ -936,6 +940,7 @@ impl<B: MemoryBackend + Snapshot> Snapshot for Engine<B> {
     }
 
     fn fork(&self) -> Engine<B> {
+        impact_obs::registry().engine_forks.incr();
         Engine {
             cfg: self.cfg.clone(),
             params: self.params,

@@ -16,6 +16,7 @@
 //! | [`dram`] | `impact-dram` | banks, row buffers, timing, RowClone FPM |
 //! | [`cache`] | `impact-cache` | hierarchy, CACTI model, eviction sets |
 //! | [`memctrl`] | `impact-memctrl` | controller + MPR/CRP/CTD/ACT defenses |
+//! | [`obs`] | `impact-obs` | deterministic-safe telemetry (counters, histograms, spans) |
 //! | [`pim`] | `impact-pim` | PEI engine, RowClone interface |
 //! | [`sim`] | `impact-sim` | whole-system co-simulation |
 //! | [`genomics`] | `impact-genomics` | read-mapping victim |
@@ -44,6 +45,7 @@ pub use impact_core as core;
 pub use impact_dram as dram;
 pub use impact_genomics as genomics;
 pub use impact_memctrl as memctrl;
+pub use impact_obs as obs;
 pub use impact_pim as pim;
 pub use impact_sim as sim;
 pub use impact_workloads as workloads;

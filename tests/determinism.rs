@@ -4,7 +4,6 @@
 use impact::attacks::side_channel::{SideChannelAttack, SideChannelConfig};
 use impact::attacks::{PnmCovertChannel, PumCovertChannel};
 use impact::core::config::SystemConfig;
-use impact::core::engine::MemoryBackend;
 use impact::core::rng::SimRng;
 use impact::sim::{BackendKind, ShardedSystem, System, TracedSystem};
 use impact::workloads::graph::Graph;
@@ -187,7 +186,7 @@ fn covert_channel_is_backend_invariant() {
         let r = ch.transmit(&mut sys, &msg).unwrap();
         assert_eq!(r, mono, "{workers} pool workers diverged from mono");
         assert_eq!(
-            sys.backend().backend_stats().parallel_batches,
+            sys.backend().scheduling_counts().0,
             0,
             "noise keeps probes on the serial path; the pool must stay idle"
         );
@@ -237,7 +236,7 @@ fn side_channel_is_backend_invariant() {
     let r = attack().run(&mut sys).unwrap();
     assert_eq!(digest(&r), mono, "parallel shards diverged");
     assert!(
-        sys.backend().backend_stats().parallel_batches > 0,
+        sys.backend().scheduling_counts().0 > 0,
         "the init sweep must have engaged the worker pool"
     );
 }

@@ -149,9 +149,9 @@ fn mpr_batches_fall_back_identically_under_workers() {
     }
     assert_eq!(mono.backend_stats(), par.backend_stats());
     assert_eq!(mono.dram_state_digest(), par.dram_state_digest());
-    let sched = par.backend_stats();
-    assert_eq!(sched.parallel_batches, 0, "MPR must never parallelize");
-    assert!(sched.sequential_fallbacks > 0);
+    let (sched_parallel, sched_fallback) = par.scheduling_counts();
+    assert_eq!(sched_parallel, 0, "MPR must never parallelize");
+    assert!(sched_fallback > 0);
 }
 
 /// The default adaptive threshold through the runtime-selected boxed
@@ -179,8 +179,7 @@ fn default_threshold_engages_through_backend_kind() {
         backend.service_batch(&small).unwrap(),
         mono.service_batch(&small).unwrap()
     );
-    assert_eq!(backend.backend_stats().parallel_batches, 0);
-    assert_eq!(backend.backend_stats().sequential_fallbacks, 1);
+    assert_eq!(backend.scheduling_counts(), (0, 1));
 
     // 4096 requests over many banks → parallel.
     let big: Vec<MemRequest> = (0..4096u64)
@@ -193,7 +192,7 @@ fn default_threshold_engages_through_backend_kind() {
         backend.service_batch(&big).unwrap(),
         mono.service_batch(&big).unwrap()
     );
-    assert_eq!(backend.backend_stats().parallel_batches, 1);
+    assert_eq!(backend.scheduling_counts(), (1, 1));
     assert_eq!(backend.backend_stats(), mono.backend_stats());
     assert_eq!(backend.dram_state_digest(), mono.dram_state_digest());
 }
@@ -219,7 +218,7 @@ fn init_sweep_4096_banks_is_bit_identical_and_parallel() {
         (
             infos.iter().map(|i| i.latency.0).collect(),
             s.backend().dram_state_digest(),
-            s.backend().backend_stats().parallel_batches,
+            s.backend().scheduling_counts().0,
         )
     }
 
@@ -308,8 +307,8 @@ fn mono_recorded_trace_replays_digest_clean_on_parallel_shards() {
     assert!(v.matches(), "parallel replay failed footer verification");
     assert_eq!(v.state_digest, recorded_digest, "DRAM state diverged");
     assert!(
-        v.stats.parallel_batches > 0,
-        "the 1024-request batch must have been serviced on the pool"
+        v.pool_batches.0 > 0,
+        "the 4096-request batch must have been serviced on the pool"
     );
 
     // Mono and sequential sharded replays land in the identical state.
