@@ -88,6 +88,7 @@ pub const DETERMINISTIC_CRATES: &[&str] = &[
     "cache",
     "workloads",
     "genomics",
+    "fleet",
 ];
 
 /// The only files allowed to create threads or shared-state primitives.
@@ -98,6 +99,7 @@ pub const SANCTIONED_CONCURRENCY: &[&str] = &[
     "crates/memctrl/src/sharded.rs",
     "crates/bench/src/runner.rs",
     "crates/obs/src/lib.rs",
+    "crates/fleet/src/scheduler.rs",
 ];
 
 /// Classifies a workspace-relative path (always `/`-separated).
@@ -277,6 +279,14 @@ mod tests {
         assert!(runner.concurrency_sanctioned);
         let sharded = classify("crates/memctrl/src/sharded.rs");
         assert!(sharded.concurrency_sanctioned);
+
+        // The fleet epoch scheduler: deterministic (its output is the
+        // population report) AND concurrency-sanctioned, like sharded.
+        let fleet_sched = classify("crates/fleet/src/scheduler.rs");
+        assert!(fleet_sched.deterministic && fleet_sched.concurrency_sanctioned);
+        assert!(!fleet_sched.clock_exempt);
+        let fleet_lib = classify("crates/fleet/src/lib.rs");
+        assert!(fleet_lib.deterministic && !fleet_lib.concurrency_sanctioned);
 
         // The obs sink: clock-exempt, sanctioned atomics, but NOT part of
         // the deterministic state machine — telemetry never feeds results.

@@ -431,8 +431,8 @@ impl Checker<'_> {
                 line,
                 format!(
                     "`{what}` outside the sanctioned concurrency sites (memctrl::sharded worker \
-                     pool, bench::runner, the obs sinks); route new parallelism through the \
-                     proven pool and telemetry through impact_obs"
+                     pool, bench::runner, fleet::scheduler, the obs sinks); route new \
+                     parallelism through the proven pools and telemetry through impact_obs"
                 ),
             );
         }

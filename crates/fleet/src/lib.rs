@@ -1,0 +1,576 @@
+//! Fleet-scale session service: multiplexes thousands of independent,
+//! deterministic engine sessions over an epoch scheduler.
+//!
+//! The paper's harness evaluates one attacker/victim pair at a time; the
+//! fleet turns that into population-level distributions. A
+//! [`FleetService`] owns a population of sessions — synthetic
+//! attacker/victim pairs drawn from a seeded configuration distribution
+//! (defense, probe-bank count, co-tenant noise), or recorded-trace
+//! prefixes replayed through the PR 4 codec — and drives them to
+//! completion in epochs: each epoch every unfinished session advances by
+//! a fixed step budget on a shared worker pool, and results merge back
+//! in **stable session-id order, never completion order**.
+//!
+//! # Determinism contract
+//!
+//! The aggregate output ([`PopulationReport`], its canonical JSON and
+//! its FNV-1a digest) is bit-identical
+//!
+//! * at any worker count (sessions are independent; the scheduler
+//!   re-seats results by submission index),
+//! * across runs of the same seed (every random draw flows from
+//!   [`SimRng`] streams keyed by the fleet seed and session id), and
+//! * under any admission order ([`FleetService::run`] normalizes to
+//!   ascending session id before building or driving anything).
+//!
+//! Per-session setup is O(metadata): one warm parent per profile is
+//! built and calibrated, then every session forks it
+//! ([`impact_core::snapshot::Snapshot::fork`]). All fleet telemetry
+//! routes through `impact-obs` (`fleet.*` metrics) and is excluded from
+//! the determinism contract; the scheduler's threads live in
+//! `scheduler.rs`, this crate's sanctioned concurrency site.
+//!
+//! ```
+//! use impact_fleet::{FleetConfig, FleetService};
+//!
+//! let mut fleet = FleetService::new(FleetConfig::quick(7));
+//! fleet.admit_synthetic(8);
+//! let report = fleet.run(&mut |_event| {});
+//! assert_eq!(report.finished(), 8);
+//! ```
+
+mod histogram;
+mod scheduler;
+mod session;
+
+pub use histogram::{bucket_lower_bound, PopHistogram, BUCKETS};
+pub use session::{DefensePick, SessionReport, SyntheticSpec, MAX_PROBE_BANKS};
+
+use std::sync::Arc;
+
+use impact_core::config::SystemConfig;
+use impact_core::hash::{fnv1a_u64, FNV_OFFSET};
+use impact_core::rng::SimRng;
+use impact_memctrl::MemoryController;
+use impact_sim::System;
+use impact_workloads::CapturedTrace;
+
+use session::{warm_parent, Session, SyntheticSession, TraceSession, WarmSlots};
+
+/// Fleet-wide configuration. `workers` tunes wall-clock only; it never
+/// appears in the report and cannot influence its bytes.
+#[derive(Debug, Clone)]
+pub struct FleetConfig {
+    /// Root seed: specs, secrets and noise all derive from it.
+    pub seed: u64,
+    /// Scheduler threads (1 = inline, no threads spawned).
+    pub workers: usize,
+    /// Work units (transmission steps / trace events) per session per
+    /// epoch. Batching only — per-session results are budget-invariant.
+    pub epoch_budget: u32,
+    /// Minimum symbols a synthetic session transmits.
+    pub min_steps: u32,
+    /// Maximum symbols a synthetic session transmits (exclusive).
+    pub max_steps: u32,
+    /// System configuration synthetic sessions run under.
+    pub base: SystemConfig,
+}
+
+impl FleetConfig {
+    /// Full-depth defaults: ambient-noise-free base system, 24–72
+    /// symbols per session.
+    #[must_use]
+    pub fn new(seed: u64) -> FleetConfig {
+        FleetConfig {
+            seed,
+            workers: 1,
+            epoch_budget: 16,
+            min_steps: 24,
+            max_steps: 72,
+            base: SystemConfig::paper_table2_noiseless(),
+        }
+    }
+
+    /// Smoke-test depth: 8–24 symbols per session, smaller epochs. Same
+    /// population shape, cheaper sessions.
+    #[must_use]
+    pub fn quick(seed: u64) -> FleetConfig {
+        FleetConfig {
+            epoch_budget: 8,
+            min_steps: 8,
+            max_steps: 24,
+            ..FleetConfig::new(seed)
+        }
+    }
+
+    /// Returns the config with `workers` scheduler threads.
+    #[must_use]
+    pub fn with_workers(mut self, workers: usize) -> FleetConfig {
+        self.workers = workers;
+        self
+    }
+}
+
+/// Incremental progress events, streamed in deterministic order: all
+/// `SessionStarted` in ascending id, then per epoch any `SessionFinished`
+/// (ascending id within the epoch) followed by one `EpochComplete`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FleetEvent {
+    /// A session was built (parent forked) and entered the run queue.
+    SessionStarted {
+        /// Stable session id.
+        id: u32,
+        /// `"synthetic"` or `"trace"`.
+        kind: &'static str,
+    },
+    /// One scheduler epoch finished merging.
+    EpochComplete {
+        /// 1-based epoch number.
+        epoch: u64,
+        /// Sessions still unfinished after this epoch.
+        active: usize,
+        /// Sessions finished so far, in total.
+        finished: usize,
+    },
+    /// A session completed all of its work.
+    SessionFinished {
+        /// Stable session id.
+        id: u32,
+        /// Work units the session performed in total.
+        steps: u64,
+    },
+}
+
+/// An admitted-but-not-yet-built session.
+enum Pending {
+    Synthetic {
+        id: u32,
+        spec: SyntheticSpec,
+    },
+    Trace {
+        id: u32,
+        trace: Arc<CapturedTrace>,
+        // Boxed: SystemConfig dwarfs the Synthetic variant otherwise.
+        sys: Box<SystemConfig>,
+        prefix: usize,
+    },
+}
+
+impl Pending {
+    fn id(&self) -> u32 {
+        match self {
+            Pending::Synthetic { id, .. } | Pending::Trace { id, .. } => *id,
+        }
+    }
+}
+
+/// The session service: admit a population, then [`FleetService::run`]
+/// it to completion. See the crate docs for the determinism contract.
+pub struct FleetService {
+    cfg: FleetConfig,
+    pending: Vec<Pending>,
+    next_id: u32,
+}
+
+impl FleetService {
+    /// An empty fleet under `cfg`.
+    #[must_use]
+    pub fn new(cfg: FleetConfig) -> FleetService {
+        FleetService {
+            cfg,
+            pending: Vec::new(),
+            next_id: 0,
+        }
+    }
+
+    fn take_id(&mut self) -> u32 {
+        let id = self.next_id;
+        self.next_id += 1;
+        id
+    }
+
+    /// Admits `n` synthetic attacker/victim sessions. Each spec is a
+    /// pure function of (fleet seed, session id), so admitting 1000 in
+    /// one call or over many calls yields the same population.
+    pub fn admit_synthetic(&mut self, n: usize) {
+        for _ in 0..n {
+            let id = self.take_id();
+            let spec =
+                SyntheticSpec::draw(self.cfg.seed, id, self.cfg.min_steps, self.cfg.max_steps);
+            self.pending.push(Pending::Synthetic { id, spec });
+        }
+    }
+
+    /// Admits `n` trace-replay sessions over a shared recorded trace:
+    /// session `i` of the batch replays the first `(i+1)/n` of the
+    /// event log under `sys` (the recording's resolved configuration —
+    /// resolve the header label with `config_for_label` or equivalent).
+    pub fn admit_trace(&mut self, trace: &Arc<CapturedTrace>, sys: &SystemConfig, n: usize) {
+        let events = trace.events.len();
+        for i in 0..n {
+            let id = self.take_id();
+            let prefix = (events * (i + 1)) / n.max(1);
+            self.pending.push(Pending::Trace {
+                id,
+                trace: Arc::clone(trace),
+                sys: Box::new(sys.clone()),
+                prefix: prefix.max(1),
+            });
+        }
+    }
+
+    /// Deterministically shuffles the admission queue — a test hook
+    /// proving [`FleetService::run`] is admission-order invariant.
+    pub fn permute_admission(&mut self, seed: u64) {
+        SimRng::seed(seed).shuffle(&mut self.pending);
+    }
+
+    /// Sessions admitted so far.
+    #[must_use]
+    pub fn admitted(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Builds every admitted session (warm-once, fork-per-session) and
+    /// drives the population to completion, streaming [`FleetEvent`]s.
+    ///
+    /// # Panics
+    ///
+    /// Re-throws the first panicking session's payload; panics if a
+    /// trace session's events fail to replay (a corrupt recording).
+    pub fn run(mut self, on_event: &mut dyn FnMut(&FleetEvent)) -> PopulationReport {
+        let obs = impact_obs::registry();
+        self.pending.sort_unstable_by_key(Pending::id);
+
+        // Warm parents are built lazily, one per profile: a single
+        // calibrated engine for every synthetic session, one pristine
+        // controller per (trace, config) batch.
+        let mut synth_parent: Option<(System, Arc<WarmSlots>)> = None;
+        let mut trace_parent: Option<(Arc<CapturedTrace>, u64, MemoryController)> = None;
+        let mut synthetic = 0u64;
+        let mut traced = 0u64;
+        let mut active: Vec<Session> = Vec::with_capacity(self.pending.len());
+        for pending in self.pending.drain(..) {
+            let id = pending.id();
+            let sess = match pending {
+                Pending::Synthetic { spec, .. } => {
+                    let (parent, warm) =
+                        synth_parent.get_or_insert_with(|| warm_parent(&self.cfg.base));
+                    synthetic += 1;
+                    Session::synthetic(id, SyntheticSession::new(parent, Arc::clone(warm), spec))
+                }
+                Pending::Trace {
+                    trace, sys, prefix, ..
+                } => {
+                    let fp = sys.fingerprint();
+                    let fresh = match &trace_parent {
+                        Some((t, pfp, _)) => !Arc::ptr_eq(t, &trace) || *pfp != fp,
+                        None => true,
+                    };
+                    if fresh {
+                        trace_parent =
+                            Some((Arc::clone(&trace), fp, MemoryController::from_config(&sys)));
+                    }
+                    let (_, _, parent) = trace_parent.as_ref().expect("just seeded");
+                    traced += 1;
+                    Session::trace(id, TraceSession::new(parent, trace, sys.clock, prefix))
+                }
+            };
+            obs.fleet_sessions_started.incr();
+            on_event(&FleetEvent::SessionStarted {
+                id,
+                kind: sess.kind(),
+            });
+            active.push(sess);
+        }
+
+        // analyze::allow(lossy-cast): worker counts are tiny.
+        obs.fleet_workers.set(self.cfg.workers as u64);
+        let mut epoch = 0u64;
+        let mut finished: Vec<SessionReport> = Vec::new();
+        while !active.is_empty() {
+            let advanced = {
+                let _span = obs.fleet_epoch_wall_ns.span();
+                scheduler::run_epoch(active, self.cfg.workers, self.cfg.epoch_budget)
+            };
+            epoch += 1;
+            obs.fleet_epochs.incr();
+            active = Vec::with_capacity(advanced.len());
+            for sess in advanced {
+                if sess.finished() {
+                    obs.fleet_sessions_finished.incr();
+                    on_event(&FleetEvent::SessionFinished {
+                        id: sess.id,
+                        steps: sess.units_done(),
+                    });
+                    finished.push(sess.report());
+                } else {
+                    active.push(sess);
+                }
+            }
+            on_event(&FleetEvent::EpochComplete {
+                epoch,
+                active: active.len(),
+                finished: finished.len(),
+            });
+        }
+        finished.sort_unstable_by_key(|r| r.id);
+
+        PopulationReport::aggregate(
+            self.cfg.seed,
+            self.cfg.epoch_budget,
+            synthetic,
+            traced,
+            epoch,
+            finished,
+        )
+    }
+}
+
+/// The deterministic aggregate of one fleet run: per-session reports in
+/// id order, population histograms, and an FNV-1a digest over all of it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PopulationReport {
+    /// Fleet seed the population derives from.
+    pub seed: u64,
+    /// Epoch step budget the run used.
+    pub epoch_budget: u32,
+    /// Synthetic sessions driven to completion.
+    pub synthetic: u64,
+    /// Trace sessions driven to completion.
+    pub traced: u64,
+    /// Scheduler epochs the run took.
+    pub epochs: u64,
+    /// Per-session results, ascending id.
+    pub reports: Vec<SessionReport>,
+    /// Channel-capacity distribution (kb/s of simulated time).
+    pub capacity_kbps: PopHistogram,
+    /// Symbol-error-rate distribution (basis points).
+    pub error_rate_bp: PopHistogram,
+    /// Slowdown-over-baseline distribution (basis points).
+    pub slowdown_bp: PopHistogram,
+    /// FNV-1a digest over every field above, the population fingerprint
+    /// CI byte-compares across worker counts.
+    pub digest: u64,
+}
+
+impl PopulationReport {
+    fn aggregate(
+        seed: u64,
+        epoch_budget: u32,
+        synthetic: u64,
+        traced: u64,
+        epochs: u64,
+        reports: Vec<SessionReport>,
+    ) -> PopulationReport {
+        let mut capacity_kbps = PopHistogram::default();
+        let mut error_rate_bp = PopHistogram::default();
+        let mut slowdown_bp = PopHistogram::default();
+        let mut digest = FNV_OFFSET;
+        for v in [seed, u64::from(epoch_budget), synthetic, traced, epochs] {
+            digest = fnv1a_u64(digest, v);
+        }
+        for r in &reports {
+            capacity_kbps.record(r.capacity_kbps);
+            error_rate_bp.record(r.error_rate_bp);
+            slowdown_bp.record(r.slowdown_bp);
+            digest = r.fold_digest(digest);
+        }
+        digest = capacity_kbps.fold_digest(digest);
+        digest = error_rate_bp.fold_digest(digest);
+        digest = slowdown_bp.fold_digest(digest);
+        PopulationReport {
+            seed,
+            epoch_budget,
+            synthetic,
+            traced,
+            epochs,
+            reports,
+            capacity_kbps,
+            error_rate_bp,
+            slowdown_bp,
+            digest,
+        }
+    }
+
+    /// Sessions driven to completion.
+    #[must_use]
+    pub fn finished(&self) -> usize {
+        self.reports.len()
+    }
+
+    /// Canonical JSON: keys in fixed (alphabetical) order, no
+    /// wall-clock, no worker count — byte-identical for identical
+    /// populations, whatever machine or parallelism produced them.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        out.push_str(&format!(
+            "  \"capacity_kbps\": {},\n",
+            self.capacity_kbps.to_json()
+        ));
+        out.push_str(&format!("  \"digest\": \"{:#018x}\",\n", self.digest));
+        out.push_str(&format!(
+            "  \"error_rate_bp\": {},\n",
+            self.error_rate_bp.to_json()
+        ));
+        out.push_str(&format!(
+            "  \"fleet\": {{\"epoch_budget\": {}, \"epochs\": {}, \"seed\": {}, \"sessions_synthetic\": {}, \"sessions_trace\": {}}},\n",
+            self.epoch_budget, self.epochs, self.seed, self.synthetic, self.traced
+        ));
+        out.push_str(&format!(
+            "  \"slowdown_bp\": {}\n",
+            self.slowdown_bp.to_json()
+        ));
+        out.push_str("}\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use impact_core::addr::PhysAddr;
+    use impact_core::engine::{MemRequest, ReqKind};
+    use impact_core::time::Cycles;
+    use impact_core::trace::{TraceEvent, TraceHeader, TraceSummary};
+
+    fn quick_cfg(workers: usize) -> FleetConfig {
+        let mut cfg = FleetConfig::quick(0xF1EE7);
+        cfg.workers = workers;
+        cfg.epoch_budget = 4;
+        cfg.min_steps = 4;
+        cfg.max_steps = 10;
+        cfg
+    }
+
+    fn tiny_trace() -> Arc<CapturedTrace> {
+        let sys = SystemConfig::paper_table2_noiseless();
+        let capacity = sys.dram_geometry.capacity_bytes();
+        let mut rng = SimRng::seed(0xACE);
+        let events: Vec<TraceEvent> = (0..40)
+            .map(|i| {
+                TraceEvent::Request(MemRequest {
+                    addr: PhysAddr(rng.below(capacity)),
+                    kind: ReqKind::Load,
+                    at: Cycles(i * 10),
+                    actor: 0,
+                })
+            })
+            .collect();
+        Arc::new(CapturedTrace {
+            header: TraceHeader {
+                version: 1,
+                fingerprint: sys.fingerprint(),
+                seed: 0xACE,
+                label: "paper_table2_noiseless".to_string(),
+            },
+            summary: TraceSummary {
+                events: events.len() as u64,
+                ..TraceSummary::default()
+            },
+            events,
+        })
+    }
+
+    fn run_fleet(workers: usize, shuffle: Option<u64>) -> (PopulationReport, Vec<FleetEvent>) {
+        let mut fleet = FleetService::new(quick_cfg(workers));
+        fleet.admit_synthetic(10);
+        let trace = tiny_trace();
+        fleet.admit_trace(&trace, &SystemConfig::paper_table2_noiseless(), 4);
+        if let Some(seed) = shuffle {
+            fleet.permute_admission(seed);
+        }
+        let mut events = Vec::new();
+        let report = fleet.run(&mut |ev| events.push(ev.clone()));
+        (report, events)
+    }
+
+    #[test]
+    fn population_is_worker_and_admission_invariant() {
+        let (base, base_events) = run_fleet(1, None);
+        for (workers, shuffle) in [(2, None), (4, None), (4, Some(99))] {
+            let (other, other_events) = run_fleet(workers, shuffle);
+            assert_eq!(base, other, "workers={workers} shuffle={shuffle:?}");
+            assert_eq!(base.to_json(), other.to_json());
+            assert_eq!(base_events, other_events);
+        }
+    }
+
+    #[test]
+    fn events_stream_in_stable_order() {
+        let (report, events) = run_fleet(3, Some(5));
+        let started: Vec<u32> = events
+            .iter()
+            .filter_map(|ev| match ev {
+                FleetEvent::SessionStarted { id, .. } => Some(*id),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(started, (0..14).collect::<Vec<u32>>());
+        let finished: Vec<u32> = events
+            .iter()
+            .filter_map(|ev| match ev {
+                FleetEvent::SessionFinished { id, .. } => Some(*id),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(finished.len(), 14);
+        assert_eq!(report.finished(), 14);
+        match events.last() {
+            Some(FleetEvent::EpochComplete {
+                active: 0,
+                finished: 14,
+                ..
+            }) => {}
+            other => panic!("run must end on a final EpochComplete, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn specs_are_a_pure_function_of_seed_and_id() {
+        let a = SyntheticSpec::draw(7, 3, 8, 24);
+        let b = SyntheticSpec::draw(7, 3, 8, 24);
+        assert_eq!(a, b);
+        assert_ne!(a, SyntheticSpec::draw(7, 4, 8, 24));
+        assert_ne!(a, SyntheticSpec::draw(8, 3, 8, 24));
+        assert!((8..24).contains(&a.steps));
+    }
+
+    #[test]
+    fn defended_sessions_leak_less_than_baseline() {
+        // Population-level sanity: CTD closes the channel (every probe
+        // reads as a conflict), the baseline leaks.
+        let mut fleet = FleetService::new(quick_cfg(2));
+        fleet.admit_synthetic(24);
+        let report = fleet.run(&mut |_| {});
+        let baseline_hits: u64 = report
+            .reports
+            .iter()
+            .filter(|r| r.defense == "None")
+            .map(|r| r.hits)
+            .sum();
+        let ctd_hits: u64 = report
+            .reports
+            .iter()
+            .filter(|r| r.defense == "CTD")
+            .map(|r| r.hits)
+            .sum();
+        assert!(baseline_hits > 0, "undefended sessions must decode symbols");
+        assert_eq!(ctd_hits, 0, "constant-time DRAM must close the channel");
+    }
+
+    #[test]
+    fn different_seeds_produce_different_populations() {
+        let mut a = FleetService::new(quick_cfg(1));
+        a.admit_synthetic(6);
+        let mut b = FleetService::new(FleetConfig {
+            seed: 0xDEAD,
+            ..quick_cfg(1)
+        });
+        b.admit_synthetic(6);
+        let ra = a.run(&mut |_| {});
+        let rb = b.run(&mut |_| {});
+        assert_ne!(ra.digest, rb.digest);
+    }
+}

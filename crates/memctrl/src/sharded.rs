@@ -186,14 +186,44 @@ impl WorkerPool {
     fn size(&self) -> usize {
         self.job_txs.len()
     }
+
+    /// Joins every worker and keeps the first panic payload that escaped
+    /// a worker thread (if any). Leaves the pool empty, so a later batch
+    /// respawns it from scratch.
+    fn join_workers(&mut self) -> Option<Box<dyn std::any::Any + Send>> {
+        // Disconnect the job channels; live workers drain and exit their
+        // loops.
+        self.job_txs.clear();
+        let mut payload = None;
+        for h in self.handles.drain(..) {
+            if let Err(p) = h.join() {
+                payload.get_or_insert(p);
+            }
+        }
+        payload
+    }
+
+    /// A dead worker was observed (disconnected job or done channel):
+    /// join the pool and re-throw the panic that actually killed it —
+    /// never a generic channel-closed payload — falling back to a
+    /// diagnostic naming the context when the workers died silently.
+    fn reap(&mut self, context: &str) -> ! {
+        match self.join_workers() {
+            Some(p) => std::panic::resume_unwind(p),
+            None => panic!("sharded worker pool died: {context}"),
+        }
+    }
 }
 
 impl Drop for WorkerPool {
     fn drop(&mut self) {
-        // Disconnect the job channels; workers drain and exit their loops.
-        self.job_txs.clear();
-        for h in self.handles.drain(..) {
-            let _ = h.join();
+        // A worker that died unwinding must not die silently: re-throw
+        // its payload — unless this drop is itself part of an unwind,
+        // where a second panic would abort the process.
+        if let Some(p) = self.join_workers() {
+            if !std::thread::panicking() {
+                std::panic::resume_unwind(p);
+            }
         }
     }
 }
@@ -475,19 +505,29 @@ impl ShardedController {
         })
     }
 
-    /// Services pre-bucketed scalar requests on the worker pool: each
-    /// populated shard's sub-controller is moved to a worker together with
-    /// its bucket and collected back afterwards. Observably identical to
-    /// the sequential bucket loop — responses are scattered into request
-    /// order, sub-controllers return to their slots, and result handling
-    /// runs in stable shard order regardless of completion order.
+    /// Services pre-bucketed scalar requests on the worker pool.
+    /// Observably identical to the sequential bucket loop — responses are
+    /// scattered into request order and result handling runs in stable
+    /// shard order regardless of completion order.
+    ///
+    /// The batch is transactional: each worker services a copy-on-write
+    /// *fork* of its shard's sub-controller while the original stays
+    /// home. Only after every outcome is back — and none panicked — are
+    /// the forks committed shard by shard; a mid-batch worker panic
+    /// discards every fork instead, so a poisoned batch leaves no
+    /// half-merged `BackendStats` or DRAM state behind (the next
+    /// successful batch starts from the exact pre-dispatch composite),
+    /// and the first failing shard's own panic payload is re-thrown on
+    /// this thread. The forks' copy-on-write unshares are the price of
+    /// that atomicity, amortized over the ≥`parallel_threshold` requests
+    /// this path requires.
     fn service_buckets_parallel(
         &mut self,
         by_shard: Vec<ShardBucket>,
         total: usize,
     ) -> Vec<MemResponse> {
         // `set_workers` keeps the pool in lockstep with `workers`; the
-        // guard only covers the unreachable case of a dropped pool.
+        // guard also respawns a pool that was torn down by `reap`.
         if !matches!(&self.pool, Some(p) if p.size() == self.workers) {
             self.pool = Some(WorkerPool::spawn(self.workers));
         }
@@ -496,7 +536,6 @@ impl ShardedController {
         // Hand out the populated buckets round-robin in shard order. The
         // assignment is deterministic, but nothing depends on it: jobs are
         // keyed by shard index.
-        let mut slots: Vec<Option<MemoryController>> = self.subs.drain(..).map(Some).collect();
         let mut dispatched = 0usize;
         for (shard, (indices, reqs, locs)) in by_shard.into_iter().enumerate() {
             if reqs.is_empty() {
@@ -505,43 +544,49 @@ impl ShardedController {
             impact_obs::registry()
                 .sharded_bucket_size
                 .record(reqs.len() as u64);
-            let sub = slots[shard].take().expect("sub-controller in its slot");
             let job = ShardJob {
                 shard,
-                sub,
+                sub: self.subs[shard].fork(),
                 indices,
                 reqs,
                 locs,
             };
-            pool.job_txs[dispatched % pool.size()]
-                .send(job)
-                .expect("pool worker alive");
+            if pool.job_txs[dispatched % pool.size()].send(job).is_err() {
+                // The receiving worker is gone — re-throw what actually
+                // killed it, not a channel-closed panic. The dropped job
+                // only held a fork; the composite is untouched.
+                pool.reap(&format!("dispatching shard {shard}"));
+            }
             dispatched += 1;
         }
 
-        // Collect every sub-controller home before touching any result so
-        // the composite is whole even if a worker panicked.
+        // Collect every outcome before touching any result, then handle
+        // them in stable shard order — never completion order — for panic
+        // propagation, commit and response scatter alike.
         let mut outcomes = Vec::with_capacity(dispatched);
         for _ in 0..dispatched {
-            let done = pool.done_rx.recv().expect("pool worker alive");
-            slots[done.shard] = Some(done.sub);
-            outcomes.push((done.shard, done.indices, done.result));
+            match pool.done_rx.recv() {
+                Ok(done) => outcomes.push(done),
+                Err(_) => pool.reap("collecting shard results"),
+            }
         }
-        self.subs = slots
-            .into_iter()
-            .map(|s| s.expect("every shard restored"))
-            .collect();
-
-        // Stable shard order — never completion order — for panic
-        // propagation and response scatter.
-        outcomes.sort_unstable_by_key(|&(shard, ..)| shard);
-        let mut out = vec![None; total];
-        for (_, indices, result) in outcomes {
-            let resps = match result {
-                Ok(resps) => resps,
+        outcomes.sort_unstable_by_key(|done| done.shard);
+        if let Some(first_err) = outcomes.iter().position(|done| done.result.is_err()) {
+            let failed = outcomes.swap_remove(first_err);
+            // Dropping the outcomes discards every fork; the originals in
+            // `self.subs` never left home.
+            drop(outcomes);
+            match failed.result {
                 Err(panic) => std::panic::resume_unwind(panic),
-            };
-            for (i, resp) in indices.into_iter().zip(resps) {
+                Ok(_) => unreachable!("position matched is_err"),
+            }
+        }
+
+        let mut out = vec![None; total];
+        for done in outcomes {
+            self.subs[done.shard] = done.sub;
+            let resps = done.result.expect("panics handled above");
+            for (i, resp) in done.indices.into_iter().zip(resps) {
                 out[i as usize] = Some(resp);
             }
         }
@@ -1044,6 +1089,120 @@ mod tests {
             ControllerBackend::dram_bank_stats(&sharded, 6).activations,
             1
         );
+    }
+
+    /// Extracts the panic payload's message, whichever string type the
+    /// panic machinery boxed it as.
+    fn payload_message(payload: &(dyn std::any::Any + Send)) -> String {
+        payload
+            .downcast_ref::<String>()
+            .cloned()
+            .or_else(|| payload.downcast_ref::<&str>().map(|s| (*s).to_string()))
+            .unwrap_or_else(|| "<non-string payload>".to_string())
+    }
+
+    /// A worker that panicked mid-bucket must re-throw its *own* payload
+    /// on the servicing thread — never a generic channel-closed message —
+    /// and the failed batch must leave no half-merged state: stats, DRAM
+    /// totals and the next successful batch are identical to a controller
+    /// that never saw the poisoned batch at all.
+    #[test]
+    fn worker_panic_payload_survives_and_batch_rolls_back() {
+        let mut par = ShardedController::from_config_parallel(&cfg(), 4, 2);
+        par.set_parallel_threshold(1);
+        let mut twin = ShardedController::from_config_parallel(&cfg(), 4, 2);
+        twin.set_parallel_threshold(1);
+        let probe = MemoryController::from_config(&cfg());
+        let scalars: Vec<MemRequest> = stream(&probe, 120, 0xDEAD)
+            .into_iter()
+            .filter(|r| !matches!(r.kind, ReqKind::RowClone { .. }))
+            .collect();
+
+        // Warm both controllers identically through the pool.
+        let warm = MemoryBackend::service_batch(&mut par, &scalars[..64]).unwrap();
+        assert_eq!(
+            warm,
+            MemoryBackend::service_batch(&mut twin, &scalars[..64]).unwrap()
+        );
+        let stats_before = par.stats();
+        let dram_before = par.dram_totals();
+
+        // Poison one shard's bucket with an out-of-range located bank —
+        // the worker's `service_batch_located` panics on the bad index
+        // (inside its catch_unwind), the other shard services normally.
+        let addrs: Vec<PhysAddr> = scalars[..32].iter().map(|r| r.addr).collect();
+        let mut locs = Vec::new();
+        par.subs[0].mapping().locate_batch(&addrs, &mut locs);
+        let mut by_shard: Vec<ShardBucket> = vec![Default::default(); 4];
+        for (i, (req, &(bank, row))) in scalars[..32].iter().zip(&locs).enumerate() {
+            let shard = bank as usize % 4;
+            let (indices, reqs, shard_locs) = &mut by_shard[shard];
+            // analyze::allow(lossy-cast): test batch of 32 requests
+            indices.push(i as u32);
+            reqs.push(*req);
+            shard_locs.push((bank, row));
+        }
+        let poisoned = by_shard
+            .iter()
+            .position(|(_, reqs, _)| !reqs.is_empty())
+            .expect("stream populates shards");
+        by_shard[poisoned].2[0].0 = u32::MAX; // out-of-range bank
+
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            par.service_buckets_parallel(by_shard, 32)
+        }))
+        .expect_err("poisoned bucket must panic");
+        let msg = payload_message(err.as_ref());
+        assert!(
+            msg.contains("4294967295"),
+            "the worker's own payload (naming the bad bank) must survive, got: {msg}"
+        );
+
+        // No half-merged state: the composite is exactly pre-dispatch.
+        assert_eq!(par.stats(), stats_before);
+        assert_eq!(par.dram_totals(), dram_before);
+
+        // And the next successful batch matches the twin that never saw
+        // the poisoned batch — responses, stats and DRAM state.
+        assert_eq!(
+            MemoryBackend::service_batch(&mut par, &scalars[64..]).unwrap(),
+            MemoryBackend::service_batch(&mut twin, &scalars[64..]).unwrap()
+        );
+        assert_eq!(par.stats(), twin.stats());
+        assert_eq!(par.dram_totals(), twin.dram_totals());
+    }
+
+    /// `WorkerPool::reap` re-throws the payload of a worker thread that
+    /// died unwinding, instead of a generic "worker alive" expect.
+    #[test]
+    fn reap_rethrows_dead_worker_payload() {
+        let (_tx, done_rx) = mpsc::channel();
+        let mut pool = WorkerPool {
+            job_txs: Vec::new(),
+            done_rx,
+            handles: vec![thread::spawn(|| panic!("shard worker exploded"))],
+        };
+        let err =
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| pool.reap("test context")))
+                .expect_err("reap must re-throw");
+        assert_eq!(payload_message(err.as_ref()), "shard worker exploded");
+        // The pool is empty now; dropping it is quiet.
+        drop(pool);
+    }
+
+    /// Dropping a pool whose worker died unwinding re-throws the payload
+    /// rather than swallowing it (unless already unwinding).
+    #[test]
+    fn drop_propagates_dead_worker_payload() {
+        let (_tx, done_rx) = mpsc::channel();
+        let pool = WorkerPool {
+            job_txs: Vec::new(),
+            done_rx,
+            handles: vec![thread::spawn(|| panic!("silent death no more"))],
+        };
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| drop(pool)))
+            .expect_err("drop must re-throw the join panic");
+        assert_eq!(payload_message(err.as_ref()), "silent death no more");
     }
 }
 

@@ -129,18 +129,19 @@ impl Default for Gauge {
 }
 
 /// Bucket count of every [`Histogram`]: power-of-two bounds, bucket `i`
-/// covering `[2^(i-1), 2^i)` (bucket 0 holds zeros, the last bucket is
-/// open-ended at `2^46` — comfortably above any latency in nanoseconds or
-/// batch size this workspace produces).
+/// covering `[2^(i-1), 2^i)` (bucket 0 holds zeros, the last bucket ends
+/// at `2^47` — comfortably above any latency in nanoseconds or batch size
+/// this workspace produces). Larger samples are *not* folded into the top
+/// bucket: they land in the histogram's explicit overflow count, so a
+/// distribution that escaped the range is observable instead of
+/// silently reported as a plausible-looking top-bucket value.
 pub const BUCKETS: usize = 48;
 
-/// The bucket a value lands in: its bit length, clamped.
-fn bucket_index(v: u64) -> usize {
-    if v == 0 {
-        0
-    } else {
-        ((64 - v.leading_zeros()) as usize).min(BUCKETS - 1)
-    }
+/// The bucket a value lands in — its bit length — or `None` when the
+/// value exceeds the bucketed range and must be counted as overflow.
+fn bucket_index(v: u64) -> Option<usize> {
+    let bits = (64 - v.leading_zeros()) as usize;
+    (bits < BUCKETS).then_some(bits)
 }
 
 /// Inclusive lower bound of bucket `i`.
@@ -161,6 +162,9 @@ pub struct Histogram {
     buckets: [AtomicU64; BUCKETS],
     count: AtomicU64,
     sum: AtomicU64,
+    /// Samples whose bit length exceeds the bucketed range — counted
+    /// here, never folded into the top bucket.
+    overflow: AtomicU64,
 }
 
 impl Histogram {
@@ -173,12 +177,17 @@ impl Histogram {
             buckets: [const { AtomicU64::new(0) }; BUCKETS],
             count: AtomicU64::new(0),
             sum: AtomicU64::new(0),
+            overflow: AtomicU64::new(0),
         }
     }
 
-    /// Records one sample.
+    /// Records one sample. Values beyond the bucketed range still count
+    /// toward `count` and `sum` but are tallied as overflow.
     pub fn record(&self, v: u64) {
-        self.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        match bucket_index(v) {
+            Some(i) => self.buckets[i].fetch_add(1, Ordering::Relaxed),
+            None => self.overflow.fetch_add(1, Ordering::Relaxed),
+        };
         self.count.fetch_add(1, Ordering::Relaxed);
         self.sum.fetch_add(v, Ordering::Relaxed);
     }
@@ -210,6 +219,7 @@ impl Histogram {
         HistogramSnapshot {
             count: self.count.load(Ordering::Relaxed),
             sum: self.sum.load(Ordering::Relaxed),
+            overflow: self.overflow.load(Ordering::Relaxed),
             buckets,
         }
     }
@@ -220,6 +230,7 @@ impl Histogram {
         }
         self.count.store(0, Ordering::Relaxed);
         self.sum.store(0, Ordering::Relaxed);
+        self.overflow.store(0, Ordering::Relaxed);
     }
 }
 
@@ -288,6 +299,17 @@ pub struct Registry {
     /// `sweep.experiment.wall_ns` — wall-clock per experiment job in
     /// `SweepRunner::run_all` (span; empty unless [`enabled`]).
     pub experiment_wall_ns: Histogram,
+    /// `fleet.sessions.started` — sessions admitted by the fleet service.
+    pub fleet_sessions_started: Counter,
+    /// `fleet.sessions.finished` — sessions the fleet drove to completion.
+    pub fleet_sessions_finished: Counter,
+    /// `fleet.epochs` — epoch-scheduler rounds completed.
+    pub fleet_epochs: Counter,
+    /// `fleet.workers` — configured worker count of the latest fleet run.
+    pub fleet_workers: Gauge,
+    /// `fleet.epoch.wall_ns` — wall-clock per scheduler epoch (span;
+    /// empty unless [`enabled`]).
+    pub fleet_epoch_wall_ns: Histogram,
 }
 
 impl Registry {
@@ -306,11 +328,16 @@ impl Registry {
             engine_forks: Counter::new(),
             engine_snapshots: Counter::new(),
             experiment_wall_ns: Histogram::new(),
+            fleet_sessions_started: Counter::new(),
+            fleet_sessions_finished: Counter::new(),
+            fleet_epochs: Counter::new(),
+            fleet_workers: Gauge::new(),
+            fleet_epoch_wall_ns: Histogram::new(),
         }
     }
 
     /// `(name, metric)` view of every counter, in name order.
-    fn counters(&self) -> [(&'static str, &Counter); 8] {
+    fn counters(&self) -> [(&'static str, &Counter); 11] {
         [
             ("ctrl.cow.unshares", &self.cow_unshares),
             ("ctrl.segments.dense", &self.ctrl_dense_segments),
@@ -318,18 +345,25 @@ impl Registry {
             ("ctrl.segments.sparse", &self.ctrl_sparse_segments),
             ("engine.forks", &self.engine_forks),
             ("engine.snapshots", &self.engine_snapshots),
+            ("fleet.epochs", &self.fleet_epochs),
+            ("fleet.sessions.finished", &self.fleet_sessions_finished),
+            ("fleet.sessions.started", &self.fleet_sessions_started),
             ("sharded.batches.fallback", &self.sharded_fallback_batches),
             ("sharded.batches.parallel", &self.sharded_parallel_batches),
         ]
     }
 
-    fn gauges(&self) -> [(&'static str, &Gauge); 1] {
-        [("sharded.pool.workers", &self.pool_workers)]
+    fn gauges(&self) -> [(&'static str, &Gauge); 2] {
+        [
+            ("fleet.workers", &self.fleet_workers),
+            ("sharded.pool.workers", &self.pool_workers),
+        ]
     }
 
-    fn histograms(&self) -> [(&'static str, &Histogram); 4] {
+    fn histograms(&self) -> [(&'static str, &Histogram); 5] {
         [
             ("ctrl.batch.size", &self.ctrl_batch_size),
+            ("fleet.epoch.wall_ns", &self.fleet_epoch_wall_ns),
             ("sharded.bucket.size", &self.sharded_bucket_size),
             ("sharded.worker.busy_ns", &self.worker_busy_ns),
             ("sweep.experiment.wall_ns", &self.experiment_wall_ns),
@@ -384,14 +418,26 @@ pub fn snapshot() -> MetricsSnapshot {
 /// Frozen distribution of one [`Histogram`].
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct HistogramSnapshot {
-    /// Samples recorded.
+    /// Samples recorded (bucketed and overflowed alike).
     pub count: u64,
     /// Exact sum of all samples.
     pub sum: u64,
+    /// Samples whose bit length exceeded the bucketed range. Nonzero
+    /// overflow means bucket-resolution readers ([`quantile`]) may hit
+    /// the [`OVERFLOW_SENTINEL`] instead of a lower bound.
+    ///
+    /// [`quantile`]: HistogramSnapshot::quantile
+    pub overflow: u64,
     /// `(bucket lower bound, samples)` for every non-empty bucket, in
     /// ascending bound order.
     pub buckets: Vec<(u64, u64)>,
 }
+
+/// Returned by [`HistogramSnapshot::quantile`] when the requested rank
+/// falls among overflowed samples: there is no meaningful bucket lower
+/// bound to report, and a saturated "top bucket" value would be a
+/// plausible-looking lie.
+pub const OVERFLOW_SENTINEL: u64 = u64::MAX;
 
 impl HistogramSnapshot {
     /// Mean sample (0 when empty) — exact, from count and sum.
@@ -406,7 +452,9 @@ impl HistogramSnapshot {
 
     /// Bucket-resolution quantile: the lower bound of the bucket in which
     /// the `q`-quantile sample falls (0 when empty). `q` is clamped to
-    /// `[0, 1]`.
+    /// `[0, 1]`. When the rank lands among overflowed samples — beyond
+    /// every bucket — there is no bucket to report and the result is
+    /// [`OVERFLOW_SENTINEL`], never a plausible-looking top-bucket bound.
     #[must_use]
     pub fn quantile(&self, q: f64) -> u64 {
         if self.count == 0 {
@@ -419,6 +467,9 @@ impl HistogramSnapshot {
             if seen >= rank {
                 return bound;
             }
+        }
+        if self.overflow > 0 {
+            return OVERFLOW_SENTINEL;
         }
         self.buckets.last().map_or(0, |&(bound, _)| bound)
     }
@@ -454,8 +505,8 @@ impl MetricsSnapshot {
             out.push_str("\n    \"");
             out.push_str(name);
             out.push_str(&format!(
-                "\": {{\"count\": {}, \"sum\": {}, \"buckets\": [",
-                h.count, h.sum
+                "\": {{\"count\": {}, \"sum\": {}, \"overflow\": {}, \"buckets\": [",
+                h.count, h.sum, h.overflow
             ));
             for (j, (bound, n)) in h.buckets.iter().enumerate() {
                 if j > 0 {
@@ -506,15 +557,14 @@ mod tests {
 
     #[test]
     fn histogram_buckets_by_bit_length() {
-        assert_eq!(bucket_index(0), 0);
-        assert_eq!(bucket_index(1), 1);
-        assert_eq!(bucket_index(2), 2);
-        assert_eq!(bucket_index(3), 2);
-        assert_eq!(bucket_index(4), 3);
-        assert_eq!(bucket_index(u64::MAX), BUCKETS - 1);
+        assert_eq!(bucket_index(0), Some(0));
+        assert_eq!(bucket_index(1), Some(1));
+        assert_eq!(bucket_index(2), Some(2));
+        assert_eq!(bucket_index(3), Some(2));
+        assert_eq!(bucket_index(4), Some(3));
         for i in 1..BUCKETS {
             // The lower bound of bucket i lands in bucket i.
-            assert_eq!(bucket_index(bucket_lower_bound(i)), i);
+            assert_eq!(bucket_index(bucket_lower_bound(i)), Some(i));
         }
 
         let h = Histogram::new();
@@ -524,7 +574,44 @@ mod tests {
         let s = h.snapshot();
         assert_eq!(s.count, 5);
         assert_eq!(s.sum, 906);
+        assert_eq!(s.overflow, 0);
         assert_eq!(s.buckets, vec![(0, 1), (1, 1), (2, 2), (512, 1)]);
+    }
+
+    #[test]
+    fn overflow_is_counted_not_folded() {
+        // Boundary: the largest bucketed value is 2^47 - 1 (bit length
+        // 47 = BUCKETS - 1); one more bit overflows.
+        let top = bucket_lower_bound(BUCKETS - 1);
+        assert_eq!(bucket_index(top), Some(BUCKETS - 1));
+        assert_eq!(bucket_index(2 * top - 1), Some(BUCKETS - 1));
+        assert_eq!(bucket_index(2 * top), None);
+        assert_eq!(bucket_index(u64::MAX), None);
+
+        let h = Histogram::new();
+        h.record(top);
+        h.record(2 * top - 1);
+        h.record(2 * top);
+        h.record(u64::MAX / 2);
+        let s = h.snapshot();
+        assert_eq!(s.count, 4, "overflowed samples still count");
+        assert_eq!(s.overflow, 2);
+        assert_eq!(
+            s.buckets,
+            vec![(top, 2)],
+            "overflow never lands in the top bucket"
+        );
+
+        // Quantiles inside the bucketed range still resolve; ranks that
+        // fall among the overflow report the sentinel, not a bound.
+        assert_eq!(s.quantile(0.25), top);
+        assert_eq!(s.quantile(0.5), top);
+        assert_eq!(s.quantile(0.75), OVERFLOW_SENTINEL);
+        assert_eq!(s.quantile(1.0), OVERFLOW_SENTINEL);
+
+        h.reset();
+        let s = h.snapshot();
+        assert_eq!((s.count, s.overflow), (0, 0), "reset clears overflow");
     }
 
     #[test]
@@ -550,6 +637,7 @@ mod tests {
             HistogramSnapshot {
                 count: 0,
                 sum: 0,
+                overflow: 0,
                 buckets: Vec::new(),
             }
         }
@@ -581,6 +669,7 @@ mod tests {
                 HistogramSnapshot {
                     count: 2,
                     sum: 12,
+                    overflow: 1,
                     buckets: vec![(4, 2)],
                 },
             )],
@@ -590,7 +679,7 @@ mod tests {
             json,
             "{\n  \"counters\": {\n    \"a.one\": 1,\n    \"b.two\": 2\n  },\n  \
              \"gauges\": {\n    \"g\": 3\n  },\n  \
-             \"histograms\": {\n    \"h\": {\"count\": 2, \"sum\": 12, \"buckets\": [[4, 2]]}\n  }\n}\n"
+             \"histograms\": {\n    \"h\": {\"count\": 2, \"sum\": 12, \"overflow\": 1, \"buckets\": [[4, 2]]}\n  }\n}\n"
         );
         // Identical snapshots serialize byte-identically.
         assert_eq!(json, snap.clone().to_json());
@@ -615,7 +704,8 @@ mod tests {
         assert_eq!(names, sorted, "counter names must be sorted");
         assert!(names.contains(&"sharded.batches.parallel"));
         assert!(names.contains(&"engine.forks"));
-        assert_eq!(snap.gauges.len(), 1);
-        assert_eq!(snap.histograms.len(), 4);
+        assert!(names.contains(&"fleet.sessions.finished"));
+        assert_eq!(snap.gauges.len(), 2);
+        assert_eq!(snap.histograms.len(), 5);
     }
 }

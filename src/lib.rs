@@ -22,6 +22,7 @@
 //! | [`genomics`] | `impact-genomics` | read-mapping victim |
 //! | [`workloads`] | `impact-workloads` | GraphBIG-style kernels, XSBench |
 //! | [`attacks`] | `impact-attacks` | IMPACT-PnM/PuM, baselines, side channel |
+//! | [`fleet`] | `impact-fleet` | fleet-scale session service over an epoch scheduler |
 //!
 //! ## Quickstart
 //!
@@ -43,6 +44,7 @@ pub use impact_attacks as attacks;
 pub use impact_cache as cache;
 pub use impact_core as core;
 pub use impact_dram as dram;
+pub use impact_fleet as fleet;
 pub use impact_genomics as genomics;
 pub use impact_memctrl as memctrl;
 pub use impact_obs as obs;

@@ -374,3 +374,52 @@ fn different_seeds_differ() {
     // responds to input, not to a fixed script.
     assert_ne!(with_seed(1), with_seed(2));
 }
+
+/// The ROADMAP-mandated fleet pin: a seeded session population —
+/// synthetic attacker/victim pairs plus sessions replaying prefixes of a
+/// recorded trace — produces byte-identical aggregate output (canonical
+/// JSON, population digest and all) at workers 1, 2 and 4, and under
+/// shuffled session admission order.
+#[test]
+fn fleet_population_is_worker_and_admission_invariant() {
+    use std::sync::Arc;
+
+    use impact::core::trace::{TraceHeader, TraceSummary};
+    use impact::fleet::{FleetConfig, FleetService};
+    use impact::workloads::CapturedTrace;
+
+    // Record a covert-channel transmission as the shared trace the
+    // trace-fed sessions replay.
+    let cfg = SystemConfig::paper_table2();
+    let mut sys = TracedSystem::traced(cfg.clone());
+    let msg = SimRng::seed(41).bits(96);
+    let mut ch = PnmCovertChannel::setup(&mut sys, 16).unwrap();
+    ch.transmit(&mut sys, &msg).unwrap();
+    let trace = Arc::new(CapturedTrace {
+        header: TraceHeader::for_config(&cfg, "paper_table2", 41),
+        events: sys.trace_log().to_vec(),
+        summary: TraceSummary::default(),
+    });
+
+    let run = |workers: usize, shuffle: Option<u64>| {
+        let mut fleet_cfg = FleetConfig::quick(0xF1EE7).with_workers(workers);
+        fleet_cfg.epoch_budget = 64;
+        fleet_cfg.min_steps = 4;
+        fleet_cfg.max_steps = 10;
+        let mut fleet = FleetService::new(fleet_cfg);
+        fleet.admit_synthetic(24);
+        fleet.admit_trace(&trace, &cfg, 8);
+        if let Some(seed) = shuffle {
+            fleet.permute_admission(seed);
+        }
+        let report = fleet.run(&mut |_| {});
+        assert_eq!(report.finished(), 32);
+        report.to_json()
+    };
+    let base = run(1, None);
+    assert!(base.contains("\"sessions_synthetic\": 24"));
+    assert!(base.contains("\"sessions_trace\": 8"));
+    assert_eq!(base, run(2, None), "workers=2 diverged");
+    assert_eq!(base, run(4, None), "workers=4 diverged");
+    assert_eq!(base, run(4, Some(99)), "shuffled admission diverged");
+}
